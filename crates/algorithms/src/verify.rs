@@ -1,0 +1,152 @@
+//! Output verifiers: centralized checks that distributed outputs are valid.
+//!
+//! Every problem the library ships an algorithm for also ships a verifier, so
+//! tests and experiments never have to trust an algorithm's own claims.
+
+use avglocal_graph::Graph;
+
+/// Checks that `colors` (indexed by node) is a proper colouring of `graph`
+/// with at most `palette_size` colours.
+#[must_use]
+pub fn is_proper_coloring(graph: &Graph, colors: &[u64], palette_size: u64) -> bool {
+    if colors.len() != graph.node_count() {
+        return false;
+    }
+    if colors.iter().any(|&c| c >= palette_size) {
+        return false;
+    }
+    graph
+        .edges()
+        .all(|(u, v)| colors[u.index()] != colors[v.index()])
+}
+
+/// Checks that `in_set` (indexed by node) describes a maximal independent
+/// set of `graph`: no two set members are adjacent, and every non-member has
+/// a member neighbour.
+#[must_use]
+pub fn is_maximal_independent_set(graph: &Graph, in_set: &[bool]) -> bool {
+    if in_set.len() != graph.node_count() {
+        return false;
+    }
+    // Independence.
+    if graph.edges().any(|(u, v)| in_set[u.index()] && in_set[v.index()]) {
+        return false;
+    }
+    // Maximality: every node outside the set has a neighbour inside.
+    graph.nodes().all(|v| {
+        in_set[v.index()] || graph.neighbors(v).iter().any(|&u| in_set[u.index()])
+    })
+}
+
+/// Checks that exactly the node with the maximum identifier answered `true`.
+#[must_use]
+pub fn is_correct_largest_id(graph: &Graph, outputs: &[bool]) -> bool {
+    crate::largest_id::verify_largest_id(graph, outputs)
+}
+
+/// Checks that `matched` describes a maximal matching: `matched[v]` is the
+/// node `v` is matched with (or `None`), the relation is symmetric, matched
+/// pairs are adjacent, and no two unmatched nodes are adjacent.
+#[must_use]
+pub fn is_maximal_matching(graph: &Graph, matched: &[Option<usize>]) -> bool {
+    if matched.len() != graph.node_count() {
+        return false;
+    }
+    for v in graph.nodes() {
+        if let Some(partner) = matched[v.index()] {
+            if partner >= graph.node_count() {
+                return false;
+            }
+            // Symmetry and adjacency.
+            if matched[partner] != Some(v.index()) {
+                return false;
+            }
+            if !graph.contains_edge(v, avglocal_graph::NodeId::new(partner)) {
+                return false;
+            }
+        }
+    }
+    // Maximality: no edge with both endpoints unmatched.
+    graph
+        .edges()
+        .all(|(u, v)| matched[u.index()].is_some() || matched[v.index()].is_some())
+}
+
+/// Number of distinct colours used by a colouring.
+#[must_use]
+pub fn color_count(colors: &[u64]) -> usize {
+    let mut sorted = colors.to_vec();
+    sorted.sort_unstable();
+    sorted.dedup();
+    sorted.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use avglocal_graph::generators;
+
+    #[test]
+    fn proper_coloring_detection() {
+        let g = generators::cycle(6).unwrap();
+        assert!(is_proper_coloring(&g, &[0, 1, 0, 1, 0, 1], 2));
+        assert!(!is_proper_coloring(&g, &[0, 1, 0, 1, 0, 0], 2)); // last edge conflicts
+        assert!(!is_proper_coloring(&g, &[0, 1, 0, 1, 0, 2], 2)); // colour out of palette
+        assert!(!is_proper_coloring(&g, &[0, 1, 0], 2)); // wrong length
+    }
+
+    #[test]
+    fn odd_cycle_needs_three_colors() {
+        let g = generators::cycle(5).unwrap();
+        assert!(is_proper_coloring(&g, &[0, 1, 0, 1, 2], 3));
+        assert!(!is_proper_coloring(&g, &[0, 1, 0, 1, 0], 3));
+    }
+
+    #[test]
+    fn mis_detection() {
+        let g = generators::cycle(6).unwrap();
+        assert!(is_maximal_independent_set(&g, &[true, false, true, false, true, false]));
+        // Independent but not maximal.
+        assert!(!is_maximal_independent_set(&g, &[true, false, false, false, true, false]));
+        // Not independent.
+        assert!(!is_maximal_independent_set(&g, &[true, true, false, true, false, false]));
+        // Wrong length.
+        assert!(!is_maximal_independent_set(&g, &[true, false]));
+    }
+
+    #[test]
+    fn matching_detection() {
+        let g = generators::cycle(6).unwrap();
+        // Perfect matching 0-1, 2-3, 4-5.
+        let m = vec![Some(1), Some(0), Some(3), Some(2), Some(5), Some(4)];
+        assert!(is_maximal_matching(&g, &m));
+        // Asymmetric.
+        let bad = vec![Some(1), None, None, None, None, None];
+        assert!(!is_maximal_matching(&g, &bad));
+        // Not maximal: nothing matched.
+        assert!(!is_maximal_matching(&g, &[None; 6]));
+        // Matched pair not adjacent.
+        let far = vec![Some(3), None, None, Some(0), None, None];
+        assert!(!is_maximal_matching(&g, &far));
+        // Wrong length.
+        assert!(!is_maximal_matching(&g, &[None; 3]));
+        // Partner index out of range.
+        let oob = vec![Some(99), None, None, None, None, None];
+        assert!(!is_maximal_matching(&g, &oob));
+    }
+
+    #[test]
+    fn color_counting() {
+        assert_eq!(color_count(&[0, 1, 2, 1, 0]), 3);
+        assert_eq!(color_count(&[]), 0);
+        assert_eq!(color_count(&[7, 7, 7]), 1);
+    }
+
+    #[test]
+    fn largest_id_wrapper_delegates() {
+        let g = generators::cycle(4).unwrap();
+        let mut outputs = vec![false; 4];
+        outputs[3] = true;
+        assert!(is_correct_largest_id(&g, &outputs));
+    }
+}

@@ -1,0 +1,142 @@
+//! Iterated logarithm `log* n` and power towers.
+//!
+//! Linial's lower bound — and the paper's Theorem 1 — are stated in terms of
+//! `log* n`, the number of times the base-2 logarithm must be applied to `n`
+//! before the result drops to at most 1. Cole–Vishkin's upper bound matches
+//! it. These functions are used by the experiment harness to plot the
+//! theoretical curves next to the measured ones.
+
+/// The iterated logarithm `log*_2(n)`: the number of times `log2` must be
+/// applied to `n` until the value is at most 1.
+///
+/// `log_star(n) = 0` for `n <= 1`, `1` for `n = 2`, `2` for `n ∈ [3, 4]`,
+/// `3` for `n ∈ [5, 16]`, `4` for `n ∈ [17, 65536]`, `5` beyond (up to
+/// `2^65536`, far past `u64`).
+///
+/// # Examples
+///
+/// ```
+/// use avglocal_analysis::logstar::log_star;
+///
+/// assert_eq!(log_star(1), 0);
+/// assert_eq!(log_star(16), 3);
+/// assert_eq!(log_star(17), 4);
+/// assert_eq!(log_star(u64::MAX), 5);
+/// ```
+#[must_use]
+pub fn log_star(n: u64) -> u32 {
+    let mut value = n as f64;
+    let mut iterations = 0u32;
+    while value > 1.0 {
+        value = value.log2();
+        iterations += 1;
+    }
+    iterations
+}
+
+/// The power tower `2 ↑↑ h` (`tower(0) = 1`, `tower(h) = 2^tower(h-1)`),
+/// saturating at `u64::MAX` once the true value no longer fits.
+///
+/// `tower(h)` is the largest `n` with `log_star(n) = h` (for `h <= 4` within
+/// `u64` range), so it is the natural x-axis when sweeping `log*`.
+#[must_use]
+pub fn tower(h: u32) -> u64 {
+    let mut value: u64 = 1;
+    for _ in 0..h {
+        if value >= 64 {
+            return u64::MAX;
+        }
+        value = 1u64 << value;
+    }
+    value
+}
+
+/// Floor of `log2(n)`, with `log2_floor(0) = 0` by convention.
+#[must_use]
+pub fn log2_floor(n: u64) -> u32 {
+    if n == 0 {
+        0
+    } else {
+        63 - n.leading_zeros()
+    }
+}
+
+/// Ceiling of `log2(n)`, with `log2_ceil(0) = 0` and `log2_ceil(1) = 0`.
+#[must_use]
+pub fn log2_ceil(n: u64) -> u32 {
+    if n <= 1 {
+        0
+    } else {
+        64 - (n - 1).leading_zeros()
+    }
+}
+
+/// The paper's lower-bound threshold `½·log*(n/2)` used in the Section 3
+/// construction (as a real number, rounded down to an integer radius).
+#[must_use]
+pub fn linial_threshold(n: u64) -> u32 {
+    log_star(n / 2) / 2
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn log_star_breakpoints() {
+        assert_eq!(log_star(0), 0);
+        assert_eq!(log_star(1), 0);
+        assert_eq!(log_star(2), 1);
+        assert_eq!(log_star(3), 2);
+        assert_eq!(log_star(4), 2);
+        assert_eq!(log_star(5), 3);
+        assert_eq!(log_star(16), 3);
+        assert_eq!(log_star(17), 4);
+        assert_eq!(log_star(65_536), 4);
+        assert_eq!(log_star(65_537), 5);
+        assert_eq!(log_star(u64::MAX), 5);
+    }
+
+    #[test]
+    fn tower_values() {
+        assert_eq!(tower(0), 1);
+        assert_eq!(tower(1), 2);
+        assert_eq!(tower(2), 4);
+        assert_eq!(tower(3), 16);
+        assert_eq!(tower(4), 65_536);
+        assert_eq!(tower(5), u64::MAX); // saturates: 2^65536 does not fit
+        assert_eq!(tower(10), u64::MAX);
+    }
+
+    #[test]
+    fn tower_and_log_star_are_inverse_at_breakpoints() {
+        for h in 0..5u32 {
+            assert_eq!(log_star(tower(h)), h, "h = {h}");
+            if h >= 1 && tower(h) < u64::MAX {
+                assert_eq!(log_star(tower(h) + 1), h + 1);
+            }
+        }
+    }
+
+    #[test]
+    fn log2_floor_and_ceil() {
+        assert_eq!(log2_floor(0), 0);
+        assert_eq!(log2_floor(1), 0);
+        assert_eq!(log2_floor(2), 1);
+        assert_eq!(log2_floor(3), 1);
+        assert_eq!(log2_floor(1024), 10);
+        assert_eq!(log2_ceil(0), 0);
+        assert_eq!(log2_ceil(1), 0);
+        assert_eq!(log2_ceil(2), 1);
+        assert_eq!(log2_ceil(3), 2);
+        assert_eq!(log2_ceil(1024), 10);
+        assert_eq!(log2_ceil(1025), 11);
+    }
+
+    #[test]
+    fn linial_threshold_is_small_and_monotone_in_spirit() {
+        assert_eq!(linial_threshold(16), 1); // log*(8) = 3, halved = 1
+        assert_eq!(linial_threshold(1 << 20), 2); // log*(2^19) = 5 -> 2
+        assert!(linial_threshold(u64::MAX) <= 3);
+    }
+}

@@ -1,0 +1,179 @@
+//! Descriptive statistics for radius profiles and repeated measurements.
+
+/// Summary statistics of a sample of real values.
+///
+/// Produced by [`Summary::from_values`]; all fields are plain data so reports
+/// can format them freely.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Summary {
+    /// Sample size.
+    pub count: usize,
+    /// Arithmetic mean (0.0 for the empty sample).
+    pub mean: f64,
+    /// Unbiased sample variance (0.0 when `count < 2`).
+    pub variance: f64,
+    /// Standard deviation, `sqrt(variance)`.
+    pub std_dev: f64,
+    /// Smallest value (0.0 for the empty sample).
+    pub min: f64,
+    /// Largest value (0.0 for the empty sample).
+    pub max: f64,
+    /// Median (0.0 for the empty sample).
+    pub median: f64,
+}
+
+impl Summary {
+    /// Computes the summary of `values`.
+    #[must_use]
+    pub fn from_values(values: &[f64]) -> Self {
+        if values.is_empty() {
+            return Summary {
+                count: 0,
+                mean: 0.0,
+                variance: 0.0,
+                std_dev: 0.0,
+                min: 0.0,
+                max: 0.0,
+                median: 0.0,
+            };
+        }
+        let count = values.len();
+        let mean = values.iter().sum::<f64>() / count as f64;
+        let variance = if count < 2 {
+            0.0
+        } else {
+            values.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / (count as f64 - 1.0)
+        };
+        let mut sorted = values.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN in samples"));
+        let median = if count % 2 == 1 {
+            sorted[count / 2]
+        } else {
+            (sorted[count / 2 - 1] + sorted[count / 2]) / 2.0
+        };
+        Summary {
+            count,
+            mean,
+            variance,
+            std_dev: variance.sqrt(),
+            min: sorted[0],
+            max: sorted[count - 1],
+            median,
+        }
+    }
+
+    /// Computes the summary of integer values (radii).
+    #[must_use]
+    pub fn from_integers(values: &[usize]) -> Self {
+        let as_f64: Vec<f64> = values.iter().map(|&v| v as f64).collect();
+        Summary::from_values(&as_f64)
+    }
+
+    /// Half-width of the 95% confidence interval of the mean under the normal
+    /// approximation (`1.96 · σ / √n`); 0.0 when `count < 2`.
+    #[must_use]
+    pub fn confidence_95(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            1.96 * self.std_dev / (self.count as f64).sqrt()
+        }
+    }
+}
+
+/// The `q`-th percentile (0.0–100.0) of `values`, by linear interpolation
+/// between closest ranks. Returns 0.0 for the empty slice.
+#[must_use]
+pub fn percentile(values: &[f64], q: f64) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    let mut sorted = values.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN in samples"));
+    let q = q.clamp(0.0, 100.0) / 100.0;
+    let rank = q * (sorted.len() - 1) as f64;
+    let low = rank.floor() as usize;
+    let high = rank.ceil() as usize;
+    if low == high {
+        sorted[low]
+    } else {
+        let w = rank - low as f64;
+        sorted[low] * (1.0 - w) + sorted[high] * w
+    }
+}
+
+/// Histogram of integer values with unit-width bins from 0 to the maximum.
+#[must_use]
+pub fn histogram(values: &[usize]) -> Vec<usize> {
+    let max = values.iter().copied().max().unwrap_or(0);
+    let mut bins = vec![0usize; if values.is_empty() { 0 } else { max + 1 }];
+    for &v in values {
+        bins[v] += 1;
+    }
+    bins
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_of_simple_sample() {
+        let s = Summary::from_values(&[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(s.count, 4);
+        assert!((s.mean - 2.5).abs() < 1e-12);
+        assert!((s.median - 2.5).abs() < 1e-12);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 4.0);
+        assert!((s.variance - 5.0 / 3.0).abs() < 1e-12);
+        assert!((s.std_dev - (5.0f64 / 3.0).sqrt()).abs() < 1e-12);
+        assert!(s.confidence_95() > 0.0);
+    }
+
+    #[test]
+    fn summary_of_odd_sample_has_middle_median() {
+        let s = Summary::from_values(&[5.0, 1.0, 3.0]);
+        assert_eq!(s.median, 3.0);
+    }
+
+    #[test]
+    fn summary_of_empty_and_singleton() {
+        let empty = Summary::from_values(&[]);
+        assert_eq!(empty.count, 0);
+        assert_eq!(empty.mean, 0.0);
+        assert_eq!(empty.confidence_95(), 0.0);
+
+        let one = Summary::from_values(&[7.0]);
+        assert_eq!(one.count, 1);
+        assert_eq!(one.mean, 7.0);
+        assert_eq!(one.variance, 0.0);
+        assert_eq!(one.median, 7.0);
+        assert_eq!(one.confidence_95(), 0.0);
+    }
+
+    #[test]
+    fn summary_from_integers() {
+        let s = Summary::from_integers(&[1, 1, 4]);
+        assert!((s.mean - 2.0).abs() < 1e-12);
+        assert_eq!(s.max, 4.0);
+    }
+
+    #[test]
+    fn percentiles() {
+        let v = vec![1.0, 2.0, 3.0, 4.0, 5.0];
+        assert_eq!(percentile(&v, 0.0), 1.0);
+        assert_eq!(percentile(&v, 50.0), 3.0);
+        assert_eq!(percentile(&v, 100.0), 5.0);
+        assert!((percentile(&v, 25.0) - 2.0).abs() < 1e-12);
+        assert_eq!(percentile(&[], 50.0), 0.0);
+        // Out-of-range quantiles are clamped.
+        assert_eq!(percentile(&v, 150.0), 5.0);
+    }
+
+    #[test]
+    fn histogram_counts_each_value() {
+        let h = histogram(&[0, 1, 1, 3]);
+        assert_eq!(h, vec![1, 2, 0, 1]);
+        assert!(histogram(&[]).is_empty());
+    }
+}

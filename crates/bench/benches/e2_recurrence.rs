@@ -1,0 +1,65 @@
+//! E2 — the worst-case total-radius recurrence `a(n)`, OEIS A000788, and the
+//! adversarial searches that try to reach it on the simulator.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use avglocal::analysis::{a000788, recurrence};
+use avglocal::prelude::*;
+
+fn bench_recurrence_dp(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e2_recurrence_dynamic_program");
+    for &n in &[256usize, 1024, 4096] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| black_box(recurrence::segment_worst_totals(n)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_a000788(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e2_a000788_closed_form");
+    for &n in &[1u64 << 10, 1 << 20, 1 << 40] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| black_box(a000788::total_bit_count(n)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_exhaustive_adversary(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e2_exhaustive_adversary");
+    group.sample_size(10);
+    for &n in &[5usize, 6] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| {
+                let search = AdversarySearch::new(Problem::LargestId, Measure::Total);
+                black_box(search.exhaustive(n).unwrap().objective)
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_hill_climb_adversary(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e2_hill_climb_adversary");
+    group.sample_size(10);
+    for &n in &[32usize, 64] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| {
+                let search = AdversarySearch::new(Problem::LargestId, Measure::Total);
+                black_box(search.hill_climb(n, 1, 30, 7).unwrap().objective)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    e2,
+    bench_recurrence_dp,
+    bench_a000788,
+    bench_exhaustive_adversary,
+    bench_hill_climb_adversary
+);
+criterion_main!(e2);

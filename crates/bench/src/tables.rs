@@ -1,0 +1,398 @@
+//! The result tables of experiments E1–E6.
+//!
+//! Each function builds one table; the `experiments` binary prints them. The
+//! `quick` flag shrinks the instance sizes so the same code can run inside
+//! `cargo test` in seconds; the full sizes are meant for
+//! `cargo run --release`.
+
+use avglocal::analysis::fit::{best_model, GrowthModel};
+use avglocal::analysis::{a000788, recurrence};
+use avglocal::prelude::*;
+use avglocal::report::fmt_float;
+
+/// E1 — the exponential separation for the largest-ID problem (Section 2).
+///
+/// For each ring size: the average radius under random and under identity
+/// (adversarial-for-the-average) identifier assignments, the Section 2
+/// prediction `(a(n-1) + n/2)/n`, and the worst-case radius `n/2`.
+#[must_use]
+pub fn table_e1(quick: bool) -> Table {
+    let exponents: Vec<u32> = if quick { vec![4, 6, 8] } else { vec![4, 5, 6, 7, 8, 9, 10, 11, 12] };
+    let trials = if quick { 2 } else { 5 };
+    let mut table = Table::new(
+        "E1: largest ID on the n-cycle — average vs worst case",
+        &[
+            "n",
+            "avg radius (random ids)",
+            "avg radius (identity ids)",
+            "worst-case avg (theory)",
+            "worst-case radius",
+            "separation (worst/avg)",
+        ],
+    );
+    let mut ns = Vec::new();
+    let mut averages = Vec::new();
+    for &k in &exponents {
+        let n = 1usize << k;
+        let random = Sweep::new(Problem::LargestId, vec![n])
+            .with_policy(AssignmentPolicy::Random { base_seed: 1 })
+            .with_trials(trials)
+            .run()
+            .expect("largest-ID sweep cannot fail on cycles");
+        let identity = run_on_cycle(Problem::LargestId, n, &IdAssignment::Identity)
+            .expect("largest-ID run cannot fail on cycles");
+        let row = &random.rows[0];
+        ns.push(n as f64);
+        averages.push(row.average);
+        table.push_row(vec![
+            n.to_string(),
+            fmt_float(row.average),
+            fmt_float(identity.average()),
+            fmt_float(theory::largest_id_worst_average(n)),
+            format!("{}", theory::largest_id_worst_case(n)),
+            format!("{:.1}x", row.separation()),
+        ]);
+    }
+    let model = best_model(&ns, &averages);
+    table.push_row(vec![
+        "best-fit growth of the measured average".to_string(),
+        model.name().to_string(),
+    ]);
+    table
+}
+
+/// E2 — the worst-case total radius recurrence `a(n)` (Section 2).
+///
+/// Checks that the dynamic program, OEIS A000788 and the `½·n·log2 n`
+/// envelope agree, and that the simulator's adversarial search reaches the
+/// predicted worst-case total `a(n-1) + ⌊n/2⌋`.
+#[must_use]
+pub fn table_e2(quick: bool) -> Table {
+    let sizes: Vec<usize> =
+        if quick { vec![4, 16, 64] } else { vec![4, 8, 16, 32, 64, 256, 1024, 4096] };
+    let mut table = Table::new(
+        "E2: the recurrence a(n) for the worst-case total radius",
+        &[
+            "n",
+            "a(n) (recurrence)",
+            "A000788(n)",
+            "0.5 n log2 n",
+            "worst total on n-cycle (theory)",
+            "worst total found by search",
+        ],
+    );
+    let max_n = *sizes.iter().max().expect("sizes is non-empty");
+    let a = recurrence::segment_worst_totals(max_n);
+    for &n in &sizes {
+        let searched = if n <= 7 {
+            let result = AdversarySearch::new(Problem::LargestId, Measure::Total)
+                .exhaustive(n)
+                .expect("exhaustive search works for n <= 8");
+            format!("{} (exhaustive)", result.objective)
+        } else if n <= 64 {
+            let result = AdversarySearch::new(Problem::LargestId, Measure::Total)
+                .hill_climb(n, 2, if quick { 40 } else { 200 }, 17)
+                .expect("hill climbing works for n >= 3");
+            format!("{} (hill climb)", result.objective)
+        } else {
+            "-".to_string()
+        };
+        table.push_row(vec![
+            n.to_string(),
+            a[n].to_string(),
+            a000788::total_bit_count(n as u64).to_string(),
+            fmt_float(a000788::asymptotic_estimate(n as u64)),
+            theory::largest_id_worst_total(n).to_string(),
+            searched,
+        ]);
+    }
+    table
+}
+
+/// E3 — the Cole–Vishkin upper bound for 3-colouring (Section 3).
+///
+/// Shows that both measures stay bounded by the `log*`-type constant over
+/// four orders of magnitude of `n`, while the landmark colouring (variable
+/// radius) stays small on average but not in the worst case.
+#[must_use]
+pub fn table_e3(quick: bool) -> Table {
+    let exponents: Vec<u32> = if quick { vec![4, 6, 8] } else { vec![4, 6, 8, 10, 12, 14, 16] };
+    let mut table = Table::new(
+        "E3: 3-colouring the n-ring — radii vs log* n",
+        &[
+            "n",
+            "CV avg radius",
+            "CV max radius",
+            "landmark avg",
+            "landmark max",
+            "log*(n)",
+            "lower bound (Thm 1)",
+            "CV upper bound",
+        ],
+    );
+    for &k in &exponents {
+        let n = 1usize << k;
+        let assignment = IdAssignment::Shuffled { seed: 3 };
+        let cv = run_on_cycle(Problem::ThreeColoring, n, &assignment)
+            .expect("Cole-Vishkin runs on every cycle");
+        let landmark = run_on_cycle(Problem::LandmarkColoring, n, &assignment)
+            .expect("landmark colouring runs on every cycle");
+        table.push_row(vec![
+            n.to_string(),
+            fmt_float(cv.average()),
+            cv.max().to_string(),
+            fmt_float(landmark.average()),
+            landmark.max().to_string(),
+            theory::log_star_of(n).to_string(),
+            fmt_float(theory::coloring_average_lower_bound(n)),
+            theory::cole_vishkin_upper_bound(64).to_string(),
+        ]);
+    }
+    table
+}
+
+/// E4 — the Theorem 1 lower bound: adversarial identifier assignments cannot
+/// push the average colouring radius below `Ω(log* n)`, and the Section 3
+/// slice construction produces such hard assignments.
+#[must_use]
+pub fn table_e4(quick: bool) -> Table {
+    let sizes: Vec<usize> = if quick { vec![32, 64] } else { vec![64, 128, 256, 512] };
+    let mut table = Table::new(
+        "E4: adversarial assignments for colouring (Theorem 1)",
+        &[
+            "n",
+            "algorithm",
+            "avg radius (random ids)",
+            "avg radius (section 3 pi)",
+            "avg radius (hill climb)",
+            "lower bound 0.5 log*(n/2)",
+        ],
+    );
+    for &n in &sizes {
+        for problem in [Problem::LandmarkColoring, Problem::ThreeColoring] {
+            let random = random_permutation_study(problem, n, if quick { 3 } else { 8 }, 5)
+                .expect("random study runs on cycles");
+            let section3 = section3_assignment(problem, n)
+                .and_then(|a| run_on_cycle(problem, n, &a))
+                .expect("section 3 construction runs on cycles");
+            let climbed = AdversarySearch::new(problem, Measure::Average)
+                .hill_climb(n, 1, if quick { 20 } else { 80 }, 11)
+                .expect("hill climbing runs on cycles");
+            table.push_row(vec![
+                n.to_string(),
+                problem.to_string(),
+                fmt_float(random.average_radius.mean),
+                fmt_float(section3.average()),
+                fmt_float(climbed.objective),
+                fmt_float(theory::coloring_average_lower_bound(n)),
+            ]);
+        }
+    }
+    table
+}
+
+/// E5 — the Section 4 "further work" question: both measures under uniformly
+/// random identifier permutations.
+#[must_use]
+pub fn table_e5(quick: bool) -> Table {
+    let exponents: Vec<u32> = if quick { vec![5, 7] } else { vec![6, 8, 10, 12] };
+    let samples = if quick { 5 } else { 20 };
+    let mut table = Table::new(
+        "E5: largest ID under uniformly random identifiers",
+        &[
+            "n",
+            "samples",
+            "mean avg radius",
+            "95% CI",
+            "expected (theory)",
+            "mean worst-case radius",
+            "worst-case avg (adversarial theory)",
+        ],
+    );
+    for &k in &exponents {
+        let n = 1usize << k;
+        let study = random_permutation_study(Problem::LargestId, n, samples, 23)
+            .expect("largest-ID study runs on cycles");
+        table.push_row(vec![
+            n.to_string(),
+            samples.to_string(),
+            fmt_float(study.average_radius.mean),
+            format!("±{}", fmt_float(study.average_radius.confidence_95())),
+            fmt_float(theory::largest_id_random_average(n)),
+            fmt_float(study.worst_case_radius.mean),
+            fmt_float(theory::largest_id_worst_average(n)),
+        ]);
+    }
+    table
+}
+
+/// E6 — the motivating applications of Section 1: parallel replay makespan
+/// and dynamic-update cost, per algorithm.
+#[must_use]
+pub fn table_e6(quick: bool) -> Table {
+    let n = if quick { 64 } else { 256 };
+    let workers = 16;
+    let assignment = IdAssignment::Shuffled { seed: 31 };
+    let mut table = Table::new(
+        "E6: applications — parallel replay and dynamic updates",
+        &[
+            "algorithm",
+            "avg radius",
+            "max radius",
+            "makespan (16 workers)",
+            "makespan lower bound",
+            "expected invalidated nodes",
+        ],
+    );
+    for problem in [
+        Problem::LargestId,
+        Problem::FullInfoLargestId,
+        Problem::ThreeColoring,
+        Problem::LandmarkColoring,
+        Problem::KnowTheLeader,
+    ] {
+        let profile =
+            run_on_cycle(problem, n, &assignment).expect("all problems run on cycles");
+        let outcome = schedule_radii(&profile, workers);
+        table.push_row(vec![
+            problem.to_string(),
+            fmt_float(profile.average()),
+            profile.max().to_string(),
+            outcome.makespan.to_string(),
+            outcome.lower_bound.to_string(),
+            fmt_float(expected_invalidated_nodes(&profile)),
+        ]);
+    }
+    table
+}
+
+/// Figure F1 — the E1 separation as an ASCII chart: the measured average
+/// radius (random identifiers) versus the worst-case-over-permutations
+/// average and the classical worst case, on a shared linear scale. The
+/// worst-case curve dwarfing the two average curves *is* the paper's
+/// exponential separation.
+#[must_use]
+pub fn figure_f1(quick: bool) -> String {
+    let exponents: Vec<u32> = if quick { vec![4, 6, 8] } else { vec![4, 6, 8, 10, 12] };
+    let mut labels = Vec::new();
+    let mut measured = Vec::new();
+    let mut theory_avg = Vec::new();
+    let mut worst = Vec::new();
+    for &k in &exponents {
+        let n = 1usize << k;
+        labels.push(format!("2^{k}"));
+        let profile = run_on_cycle(Problem::LargestId, n, &IdAssignment::Shuffled { seed: 1 })
+            .expect("largest ID runs on every cycle");
+        measured.push(profile.average());
+        theory_avg.push(theory::largest_id_worst_average(n));
+        worst.push(theory::largest_id_worst_case(n) as f64);
+    }
+    avglocal::figure::AsciiChart::new("F1: largest ID — average vs worst case", labels)
+        .with_height(14)
+        .render(&[
+            avglocal::figure::Series::new("measured average (random ids)", measured),
+            avglocal::figure::Series::new("worst-case average (theory)", theory_avg),
+            avglocal::figure::Series::new("worst-case radius n/2", worst),
+        ])
+}
+
+/// Figure F2 — the E3 curves: Cole–Vishkin and landmark-colouring radii stay
+/// flat next to `log* n` while the ring grows by orders of magnitude.
+#[must_use]
+pub fn figure_f2(quick: bool) -> String {
+    let exponents: Vec<u32> = if quick { vec![4, 6, 8] } else { vec![4, 7, 10, 13, 16] };
+    let mut labels = Vec::new();
+    let mut cv = Vec::new();
+    let mut landmark = Vec::new();
+    let mut logstar = Vec::new();
+    for &k in &exponents {
+        let n = 1usize << k;
+        labels.push(format!("2^{k}"));
+        let assignment = IdAssignment::Shuffled { seed: 3 };
+        cv.push(
+            run_on_cycle(Problem::ThreeColoring, n, &assignment)
+                .expect("Cole-Vishkin runs on every cycle")
+                .average(),
+        );
+        landmark.push(
+            run_on_cycle(Problem::LandmarkColoring, n, &assignment)
+                .expect("landmark colouring runs on every cycle")
+                .average(),
+        );
+        logstar.push(f64::from(theory::log_star_of(n)));
+    }
+    avglocal::figure::AsciiChart::new("F2: 3-colouring radii vs log* n", labels)
+        .with_height(10)
+        .render(&[
+            avglocal::figure::Series::new("Cole-Vishkin average radius", cv),
+            avglocal::figure::Series::new("landmark-colouring average radius", landmark),
+            avglocal::figure::Series::new("log*(n)", logstar),
+        ])
+}
+
+/// All tables, in experiment order.
+#[must_use]
+pub fn all_tables(quick: bool) -> Vec<Table> {
+    vec![
+        table_e1(quick),
+        table_e2(quick),
+        table_e3(quick),
+        table_e4(quick),
+        table_e5(quick),
+        table_e6(quick),
+    ]
+}
+
+/// The growth model the E1 average column is expected to follow.
+#[must_use]
+pub fn expected_e1_model() -> GrowthModel {
+    GrowthModel::Logarithmic
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn e1_quick_has_expected_shape() {
+        let t = table_e1(true);
+        assert!(t.row_count() >= 4);
+        assert!(t.to_text().contains("E1"));
+    }
+
+    #[test]
+    fn e2_quick_matches_oeis() {
+        let t = table_e2(true);
+        let csv = t.to_csv();
+        // a(16) = A000788(16) = 33 appears in both columns.
+        assert!(csv.contains("16,33,33"));
+    }
+
+    #[test]
+    fn e3_quick_contains_log_star() {
+        let t = table_e3(true);
+        assert_eq!(t.row_count(), 3);
+        assert!(t.to_text().contains("log*"));
+    }
+
+    #[test]
+    fn e5_and_e6_quick_render() {
+        assert!(table_e5(true).row_count() >= 2);
+        assert_eq!(table_e6(true).row_count(), 5);
+    }
+
+    #[test]
+    fn e1_expected_model_is_logarithmic() {
+        assert_eq!(expected_e1_model(), GrowthModel::Logarithmic);
+    }
+
+    #[test]
+    fn figures_render_in_quick_mode() {
+        let f1 = figure_f1(true);
+        assert!(f1.contains("F1"));
+        assert!(f1.contains("worst-case radius n/2"));
+        let f2 = figure_f2(true);
+        assert!(f2.contains("F2"));
+        assert!(f2.contains("log*(n)"));
+    }
+}

@@ -1,0 +1,248 @@
+//! Adversarial search over identifier assignments.
+//!
+//! The paper's measures are worst-case over the identifier permutation, so a
+//! faithful reproduction needs a way to *find* bad permutations. Three
+//! strategies are provided, in increasing scalability:
+//!
+//! * exhaustive enumeration (`n ≤ 8`), which is exact;
+//! * random restarts with greedy swap-based hill climbing;
+//! * the paper's own Section 3 slice construction
+//!   ([`avglocal_algorithms::SliceConstruction`]), re-exported through
+//!   [`section3_assignment`] with the threshold set to `½·log*(n/2)` as in
+//!   the proof of Theorem 1.
+
+use avglocal_analysis::logstar::linial_threshold;
+use avglocal_graph::{IdAssignment, Permutation};
+use rand::rngs::StdRng;
+use rand::Rng;
+use rand::SeedableRng;
+
+use crate::error::{CoreError, Result};
+use crate::measure::Measure;
+use crate::problem::Problem;
+use crate::profile::RadiusProfile;
+
+/// The outcome of an adversarial search.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AdversaryResult {
+    /// The worst assignment found.
+    pub assignment: IdAssignment,
+    /// The value of the objective measure under that assignment.
+    pub objective: f64,
+    /// The radius profile under that assignment.
+    pub profile: RadiusProfile,
+    /// Number of candidate assignments evaluated.
+    pub evaluations: usize,
+}
+
+/// Searches for the identifier assignment of an `n`-cycle that maximises
+/// `measure` for `problem`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AdversarySearch {
+    problem: Problem,
+    measure: Measure,
+}
+
+impl AdversarySearch {
+    /// Creates a search maximising `measure` for `problem`.
+    #[must_use]
+    pub fn new(problem: Problem, measure: Measure) -> Self {
+        AdversarySearch { problem, measure }
+    }
+
+    fn evaluate(&self, n: usize, assignment: &IdAssignment) -> Result<(f64, RadiusProfile)> {
+        let profile = crate::experiment::run_on_cycle(self.problem, n, assignment)?;
+        Ok((self.measure.evaluate(&profile), profile))
+    }
+
+    /// Exhaustively enumerates every identifier permutation of the `n`-cycle.
+    /// Exact but limited to `n ≤ 8` (already 40 320 executions).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidConfiguration`] when `n < 3` or `n > 8`,
+    /// and propagates execution errors.
+    pub fn exhaustive(&self, n: usize) -> Result<AdversaryResult> {
+        if !(3..=8).contains(&n) {
+            return Err(CoreError::InvalidConfiguration {
+                reason: format!("exhaustive search requires 3 <= n <= 8, got {n}"),
+            });
+        }
+        let mut best: Option<AdversaryResult> = None;
+        let mut evaluations = 0usize;
+        for perm in Permutation::enumerate_all(n)? {
+            let assignment = IdAssignment::Explicit(perm);
+            let (value, profile) = self.evaluate(n, &assignment)?;
+            evaluations += 1;
+            if best.as_ref().is_none_or(|b| value > b.objective) {
+                best = Some(AdversaryResult { assignment, objective: value, profile, evaluations });
+            }
+        }
+        let mut result = best.expect("at least one permutation was evaluated");
+        result.evaluations = evaluations;
+        Ok(result)
+    }
+
+    /// Hill climbing with random restarts: starting from random permutations,
+    /// repeatedly applies the best improving transposition found among a
+    /// random sample of swaps.
+    ///
+    /// This is a heuristic lower bound on the true worst case; for the
+    /// largest-ID problem it reliably rediscovers the monotone (identity-like)
+    /// arrangements predicted by the Section 2 recurrence.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidConfiguration`] when `n < 3`, `restarts ==
+    /// 0`, or `steps == 0`, and propagates execution errors.
+    pub fn hill_climb(
+        &self,
+        n: usize,
+        restarts: usize,
+        steps: usize,
+        seed: u64,
+    ) -> Result<AdversaryResult> {
+        if n < 3 || restarts == 0 || steps == 0 {
+            return Err(CoreError::InvalidConfiguration {
+                reason: format!(
+                    "hill climbing needs n >= 3, restarts >= 1, steps >= 1 (got n={n}, restarts={restarts}, steps={steps})"
+                ),
+            });
+        }
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut best: Option<AdversaryResult> = None;
+        let mut evaluations = 0usize;
+        for _ in 0..restarts {
+            let mut current = Permutation::random(n, &mut rng);
+            let (mut current_value, mut current_profile) =
+                self.evaluate(n, &IdAssignment::Explicit(current.clone()))?;
+            evaluations += 1;
+            for _ in 0..steps {
+                // Propose a random transposition.
+                let i = rng.gen_range(0..n);
+                let j = rng.gen_range(0..n);
+                if i == j {
+                    continue;
+                }
+                let mut candidate = current.clone();
+                candidate.swap(i, j);
+                let (value, profile) =
+                    self.evaluate(n, &IdAssignment::Explicit(candidate.clone()))?;
+                evaluations += 1;
+                if value > current_value {
+                    current = candidate;
+                    current_value = value;
+                    current_profile = profile;
+                }
+            }
+            if best.as_ref().is_none_or(|b| current_value > b.objective) {
+                best = Some(AdversaryResult {
+                    assignment: IdAssignment::Explicit(current),
+                    objective: current_value,
+                    profile: current_profile,
+                    evaluations,
+                });
+            }
+        }
+        let mut result = best.expect("at least one restart was evaluated");
+        result.evaluations = evaluations;
+        Ok(result)
+    }
+}
+
+/// The paper's Section 3 construction with the threshold `½·log*(n/2)` used
+/// in the proof of Theorem 1, specialised to `problem`.
+///
+/// # Errors
+///
+/// Propagates execution errors from the radius oracle runs.
+pub fn section3_assignment(problem: Problem, n: usize) -> Result<IdAssignment> {
+    let threshold = linial_threshold(n as u64) as usize;
+    let construction = avglocal_algorithms::SliceConstruction::new(n, threshold.max(1));
+    let oracle = move |arrangement: &[u64]| -> Vec<usize> {
+        let graph = avglocal_algorithms::cycle_with_arrangement(arrangement);
+        problem
+            .run(&graph)
+            .map(crate::profile::RadiusProfile::into_radii)
+            .unwrap_or_else(|_| vec![0; arrangement.len()])
+    };
+    Ok(construction.build_assignment(&oracle))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use avglocal_analysis::a000788::total_bit_count;
+
+    #[test]
+    fn exhaustive_matches_the_recurrence_for_small_n() {
+        // The exact worst-case total radius over all permutations of the
+        // n-cycle is a(n-1) + floor(n/2): the winner contributes n/2 and the
+        // remaining segment of n-1 nodes contributes at most a(n-1).
+        for n in [4usize, 5, 6, 7] {
+            let search = AdversarySearch::new(Problem::LargestId, Measure::Total);
+            let result = search.exhaustive(n).unwrap();
+            let expected = total_bit_count(n as u64 - 1) + (n as u64 / 2);
+            assert_eq!(result.objective as u64, expected, "n = {n}");
+            assert_eq!(result.evaluations, (1..=n).product::<usize>());
+        }
+    }
+
+    #[test]
+    fn exhaustive_validates_bounds() {
+        let search = AdversarySearch::new(Problem::LargestId, Measure::Average);
+        assert!(search.exhaustive(2).is_err());
+        assert!(search.exhaustive(9).is_err());
+    }
+
+    #[test]
+    fn hill_climbing_reaches_at_least_the_random_baseline() {
+        let search = AdversarySearch::new(Problem::LargestId, Measure::Average);
+        let n = 16;
+        let result = search.hill_climb(n, 2, 30, 11).unwrap();
+        // Any random assignment is a lower bound for the hill-climbed value.
+        let random = crate::experiment::run_on_cycle(
+            Problem::LargestId,
+            n,
+            &IdAssignment::Shuffled { seed: 0 },
+        )
+        .unwrap();
+        assert!(result.objective >= random.average() * 0.99);
+        assert!(result.evaluations >= 2);
+        assert_eq!(result.profile.len(), n);
+    }
+
+    #[test]
+    fn hill_climbing_validates_configuration() {
+        let search = AdversarySearch::new(Problem::LargestId, Measure::Average);
+        assert!(search.hill_climb(2, 1, 1, 0).is_err());
+        assert!(search.hill_climb(8, 0, 1, 0).is_err());
+        assert!(search.hill_climb(8, 1, 0, 0).is_err());
+    }
+
+    #[test]
+    fn hill_climbing_is_deterministic_per_seed() {
+        let search = AdversarySearch::new(Problem::LargestId, Measure::Average);
+        let a = search.hill_climb(12, 2, 20, 3).unwrap();
+        let b = search.hill_climb(12, 2, 20, 3).unwrap();
+        assert_eq!(a.objective, b.objective);
+        assert_eq!(a.assignment, b.assignment);
+    }
+
+    #[test]
+    fn section3_assignment_is_a_valid_permutation() {
+        let assignment = section3_assignment(Problem::LandmarkColoring, 32).unwrap();
+        let graph = crate::experiment::cycle_with_assignment(32, &assignment).unwrap();
+        assert!(graph.has_unique_identifiers());
+        // The profile under the adversarial assignment is at least as bad as
+        // under a fixed random one.
+        let adv = Problem::LandmarkColoring.run(&graph).unwrap();
+        let rnd = crate::experiment::run_on_cycle(
+            Problem::LandmarkColoring,
+            32,
+            &IdAssignment::Shuffled { seed: 1 },
+        )
+        .unwrap();
+        assert!(adv.average() >= rnd.average() * 0.8);
+    }
+}

@@ -1,0 +1,96 @@
+//! Error type of the `avglocal` crate.
+
+use std::error::Error;
+use std::fmt;
+
+use avglocal_graph::GraphError;
+use avglocal_runtime::RuntimeError;
+
+/// Errors produced by the measurement and experiment layer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum CoreError {
+    /// An underlying graph operation failed.
+    Graph(GraphError),
+    /// An execution failed.
+    Runtime(RuntimeError),
+    /// An algorithm produced an invalid output (caught by the verifier).
+    InvalidOutput {
+        /// Name of the problem whose output failed validation.
+        problem: String,
+    },
+    /// An experiment was configured with unusable parameters.
+    InvalidConfiguration {
+        /// Human-readable description of the problem.
+        reason: String,
+    },
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::Graph(e) => write!(f, "graph error: {e}"),
+            CoreError::Runtime(e) => write!(f, "runtime error: {e}"),
+            CoreError::InvalidOutput { problem } => {
+                write!(f, "algorithm for problem '{problem}' produced an invalid output")
+            }
+            CoreError::InvalidConfiguration { reason } => {
+                write!(f, "invalid experiment configuration: {reason}")
+            }
+        }
+    }
+}
+
+impl Error for CoreError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            CoreError::Graph(e) => Some(e),
+            CoreError::Runtime(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<GraphError> for CoreError {
+    fn from(e: GraphError) -> Self {
+        CoreError::Graph(e)
+    }
+}
+
+impl From<RuntimeError> for CoreError {
+    fn from(e: RuntimeError) -> Self {
+        CoreError::Runtime(e)
+    }
+}
+
+/// Convenience alias for results whose error type is [`CoreError`].
+pub type Result<T> = std::result::Result<T, CoreError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use avglocal_graph::NodeId;
+
+    #[test]
+    fn conversions_and_display() {
+        let ge: CoreError = GraphError::SelfLoop { node: NodeId::new(1) }.into();
+        assert!(ge.to_string().contains("graph error"));
+        assert!(ge.source().is_some());
+
+        let re: CoreError = RuntimeError::NonTerminating { node: NodeId::new(2) }.into();
+        assert!(re.to_string().contains("runtime error"));
+
+        let inv = CoreError::InvalidOutput { problem: "largest-id".into() };
+        assert!(inv.to_string().contains("largest-id"));
+        assert!(inv.source().is_none());
+
+        let cfg = CoreError::InvalidConfiguration { reason: "empty size list".into() };
+        assert!(cfg.to_string().contains("empty size list"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_error<E: Error + Send + Sync + 'static>() {}
+        assert_error::<CoreError>();
+    }
+}

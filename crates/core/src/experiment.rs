@@ -1,0 +1,339 @@
+//! The experiment harness: sweeps over sizes and identifier assignments.
+//!
+//! Every experiment in `EXPERIMENTS.md` is a sweep: pick a problem, a list of
+//! ring sizes, and a policy for assigning identifiers; run the algorithm;
+//! record the worst-case and average radii. The harness keeps the runs
+//! deterministic (seeds are explicit) so the reported tables are exactly
+//! reproducible.
+
+use avglocal_analysis::Summary;
+use avglocal_graph::{generators, Graph, IdAssignment};
+
+use crate::error::{CoreError, Result};
+use crate::measure::MeasurePair;
+use crate::problem::Problem;
+use crate::profile::RadiusProfile;
+
+/// How identifiers are assigned to the nodes in a sweep.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum AssignmentPolicy {
+    /// Identifiers follow the node order (`0, 1, …, n-1` around the cycle) —
+    /// the adversarial case for the largest-ID average.
+    Identity,
+    /// Identifiers in reverse node order.
+    Reversed,
+    /// One uniformly random permutation per trial, derived from `base_seed`.
+    Random {
+        /// Seed from which per-trial seeds are derived.
+        base_seed: u64,
+    },
+    /// A fixed explicit assignment used for every trial.
+    Fixed(IdAssignment),
+}
+
+impl AssignmentPolicy {
+    /// The assignment used for trial number `trial`.
+    #[must_use]
+    pub fn assignment_for_trial(&self, trial: usize) -> IdAssignment {
+        match self {
+            AssignmentPolicy::Identity => IdAssignment::Identity,
+            AssignmentPolicy::Reversed => IdAssignment::Reversed,
+            AssignmentPolicy::Random { base_seed } => {
+                IdAssignment::Shuffled { seed: base_seed.wrapping_add(trial as u64) }
+            }
+            AssignmentPolicy::Fixed(a) => a.clone(),
+        }
+    }
+}
+
+/// One row of a sweep: a single ring size, aggregated over the trials.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepRow {
+    /// Number of nodes.
+    pub n: usize,
+    /// Number of trials aggregated in this row.
+    pub trials: usize,
+    /// Mean (over trials) of the worst-case radius.
+    pub worst_case: f64,
+    /// Mean (over trials) of the average radius.
+    pub average: f64,
+    /// Summary of the per-trial average radii (for confidence intervals).
+    pub average_summary: Summary,
+    /// Mean (over trials) of the total radius.
+    pub total: f64,
+}
+
+impl SweepRow {
+    /// The separation factor `worst_case / average` of this row.
+    #[must_use]
+    pub fn separation(&self) -> f64 {
+        if self.average == 0.0 {
+            1.0
+        } else {
+            self.worst_case / self.average
+        }
+    }
+}
+
+/// The outcome of a sweep: one row per requested size.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepResult {
+    /// The problem that was swept.
+    pub problem: Problem,
+    /// One row per size, in the order the sizes were given.
+    pub rows: Vec<SweepRow>,
+}
+
+impl SweepResult {
+    /// The sizes of the sweep.
+    #[must_use]
+    pub fn sizes(&self) -> Vec<usize> {
+        self.rows.iter().map(|r| r.n).collect()
+    }
+
+    /// The average-radius column as `f64`s (for model fitting).
+    #[must_use]
+    pub fn average_column(&self) -> Vec<f64> {
+        self.rows.iter().map(|r| r.average).collect()
+    }
+
+    /// The worst-case-radius column as `f64`s (for model fitting).
+    #[must_use]
+    pub fn worst_case_column(&self) -> Vec<f64> {
+        self.rows.iter().map(|r| r.worst_case).collect()
+    }
+}
+
+/// Configuration of a sweep experiment.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Sweep {
+    problem: Problem,
+    sizes: Vec<usize>,
+    policy: AssignmentPolicy,
+    trials: usize,
+}
+
+impl Sweep {
+    /// Creates a sweep of `problem` over the given ring sizes.
+    #[must_use]
+    pub fn new(problem: Problem, sizes: Vec<usize>) -> Self {
+        Sweep { problem, sizes, policy: AssignmentPolicy::Random { base_seed: 0 }, trials: 1 }
+    }
+
+    /// Sets the identifier-assignment policy (default: random with seed 0).
+    #[must_use]
+    pub fn with_policy(mut self, policy: AssignmentPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Sets the number of trials per size (default: 1).
+    #[must_use]
+    pub fn with_trials(mut self, trials: usize) -> Self {
+        self.trials = trials;
+        self
+    }
+
+    /// Runs the sweep.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidConfiguration`] for an empty size list or
+    /// zero trials, and propagates any execution or validation error.
+    pub fn run(&self) -> Result<SweepResult> {
+        if self.sizes.is_empty() {
+            return Err(CoreError::InvalidConfiguration {
+                reason: "sweep needs at least one size".to_string(),
+            });
+        }
+        if self.trials == 0 {
+            return Err(CoreError::InvalidConfiguration {
+                reason: "sweep needs at least one trial".to_string(),
+            });
+        }
+        let mut rows = Vec::with_capacity(self.sizes.len());
+        for &n in &self.sizes {
+            let mut worst = Vec::with_capacity(self.trials);
+            let mut averages = Vec::with_capacity(self.trials);
+            let mut totals = Vec::with_capacity(self.trials);
+            for trial in 0..self.trials {
+                let assignment = self.policy.assignment_for_trial(trial);
+                let profile = run_on_cycle(self.problem, n, &assignment)?;
+                let pair = MeasurePair::of(&profile);
+                worst.push(pair.worst_case);
+                averages.push(pair.average);
+                totals.push(profile.total() as f64);
+            }
+            let average_summary = Summary::from_values(&averages);
+            rows.push(SweepRow {
+                n,
+                trials: self.trials,
+                worst_case: mean(&worst),
+                average: average_summary.mean,
+                average_summary,
+                total: mean(&totals),
+            });
+        }
+        Ok(SweepResult { problem: self.problem, rows })
+    }
+}
+
+/// Runs `problem` on an `n`-cycle with the given identifier assignment and
+/// returns the radius profile.
+///
+/// # Errors
+///
+/// Propagates graph-construction and execution errors.
+pub fn run_on_cycle(problem: Problem, n: usize, assignment: &IdAssignment) -> Result<RadiusProfile> {
+    let graph = cycle_with_assignment(n, assignment)?;
+    problem.run(&graph)
+}
+
+/// Builds an `n`-cycle and applies `assignment` to it.
+///
+/// # Errors
+///
+/// Propagates graph-construction errors (for example `n < 3`).
+pub fn cycle_with_assignment(n: usize, assignment: &IdAssignment) -> Result<Graph> {
+    let mut graph = generators::cycle(n)?;
+    assignment.apply(&mut graph)?;
+    Ok(graph)
+}
+
+/// The Section 4 "further work" study: the distribution of both measures when
+/// the identifier permutation is uniformly random.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RandomPermutationStudy {
+    /// Ring size.
+    pub n: usize,
+    /// Number of sampled permutations.
+    pub samples: usize,
+    /// Summary of the per-sample average radii.
+    pub average_radius: Summary,
+    /// Summary of the per-sample worst-case radii.
+    pub worst_case_radius: Summary,
+}
+
+/// Samples `samples` uniformly random identifier permutations of an
+/// `n`-cycle, runs `problem` on each, and summarises both measures.
+///
+/// # Errors
+///
+/// Propagates execution errors; returns [`CoreError::InvalidConfiguration`]
+/// when `samples == 0`.
+pub fn random_permutation_study(
+    problem: Problem,
+    n: usize,
+    samples: usize,
+    base_seed: u64,
+) -> Result<RandomPermutationStudy> {
+    if samples == 0 {
+        return Err(CoreError::InvalidConfiguration {
+            reason: "the random-permutation study needs at least one sample".to_string(),
+        });
+    }
+    let mut averages = Vec::with_capacity(samples);
+    let mut worsts = Vec::with_capacity(samples);
+    for i in 0..samples {
+        let assignment = IdAssignment::Shuffled { seed: base_seed.wrapping_add(i as u64) };
+        let profile = run_on_cycle(problem, n, &assignment)?;
+        averages.push(profile.average());
+        worsts.push(profile.max() as f64);
+    }
+    Ok(RandomPermutationStudy {
+        n,
+        samples,
+        average_radius: Summary::from_values(&averages),
+        worst_case_radius: Summary::from_values(&worsts),
+    })
+}
+
+fn mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        0.0
+    } else {
+        values.iter().sum::<f64>() / values.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_produces_one_row_per_size() {
+        let result = Sweep::new(Problem::LargestId, vec![8, 16, 32])
+            .with_policy(AssignmentPolicy::Random { base_seed: 1 })
+            .with_trials(3)
+            .run()
+            .unwrap();
+        assert_eq!(result.rows.len(), 3);
+        assert_eq!(result.sizes(), vec![8, 16, 32]);
+        for row in &result.rows {
+            assert_eq!(row.trials, 3);
+            assert!(row.worst_case >= row.average);
+            assert!(row.separation() >= 1.0);
+        }
+        // Worst case grows linearly with n for largest ID.
+        assert_eq!(result.rows[2].worst_case, 16.0);
+    }
+
+    #[test]
+    fn sweep_validates_configuration() {
+        assert!(Sweep::new(Problem::LargestId, vec![]).run().is_err());
+        assert!(Sweep::new(Problem::LargestId, vec![8]).with_trials(0).run().is_err());
+    }
+
+    #[test]
+    fn identity_policy_is_deterministic() {
+        let a = Sweep::new(Problem::LargestId, vec![16])
+            .with_policy(AssignmentPolicy::Identity)
+            .run()
+            .unwrap();
+        let b = Sweep::new(Problem::LargestId, vec![16])
+            .with_policy(AssignmentPolicy::Identity)
+            .run()
+            .unwrap();
+        assert_eq!(a, b);
+        // Identity: n-1 nodes stop at radius 1, the winner at n/2.
+        assert!((a.rows[0].average - (15.0 + 8.0) / 16.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn policies_produce_expected_assignments() {
+        assert_eq!(AssignmentPolicy::Identity.assignment_for_trial(3), IdAssignment::Identity);
+        assert_eq!(AssignmentPolicy::Reversed.assignment_for_trial(0), IdAssignment::Reversed);
+        assert_eq!(
+            AssignmentPolicy::Random { base_seed: 10 }.assignment_for_trial(2),
+            IdAssignment::Shuffled { seed: 12 }
+        );
+        let fixed = AssignmentPolicy::Fixed(IdAssignment::Rotated { shift: 1 });
+        assert_eq!(fixed.assignment_for_trial(5), IdAssignment::Rotated { shift: 1 });
+    }
+
+    #[test]
+    fn random_study_brackets_the_measures() {
+        let study = random_permutation_study(Problem::LargestId, 64, 10, 7).unwrap();
+        assert_eq!(study.samples, 10);
+        // The worst-case radius is always n/2 = 32 for largest ID.
+        assert_eq!(study.worst_case_radius.mean, 32.0);
+        assert!(study.average_radius.mean < 10.0);
+        assert!(study.average_radius.min >= 1.0);
+    }
+
+    #[test]
+    fn random_study_rejects_zero_samples() {
+        assert!(random_permutation_study(Problem::LargestId, 16, 0, 0).is_err());
+    }
+
+    #[test]
+    fn sweep_columns_align_with_rows() {
+        let result = Sweep::new(Problem::ThreeColoring, vec![8, 32])
+            .with_policy(AssignmentPolicy::Random { base_seed: 5 })
+            .run()
+            .unwrap();
+        assert_eq!(result.average_column().len(), 2);
+        assert_eq!(result.worst_case_column(), vec![7.0, 7.0]);
+    }
+}

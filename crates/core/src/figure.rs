@@ -1,0 +1,166 @@
+//! ASCII line charts for the experiment "figures".
+//!
+//! The paper contains no figures, but the experiment harness renders the two
+//! curves that would naturally accompany it — the largest-ID separation (E1)
+//! and the colouring radii versus `log* n` (E3) — as terminal-friendly ASCII
+//! charts so the shapes can be eyeballed without any plotting dependency.
+
+/// One named data series of a chart.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Series {
+    /// Legend label.
+    pub name: String,
+    /// One value per x position.
+    pub values: Vec<f64>,
+}
+
+impl Series {
+    /// Creates a series from a label and values.
+    #[must_use]
+    pub fn new<S: Into<String>>(name: S, values: Vec<f64>) -> Self {
+        Series { name: name.into(), values: values.into_iter().map(|v| if v.is_finite() { v } else { 0.0 }).collect() }
+    }
+}
+
+/// A simple ASCII chart: series are plotted column by column on a shared
+/// y-axis, each series with its own marker character.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AsciiChart {
+    title: String,
+    height: usize,
+    x_labels: Vec<String>,
+}
+
+const MARKERS: [char; 6] = ['*', 'o', '+', 'x', '#', '@'];
+
+impl AsciiChart {
+    /// Creates a chart with the given title and x-axis labels (one per data
+    /// column).
+    #[must_use]
+    pub fn new<S: Into<String>>(title: S, x_labels: Vec<String>) -> Self {
+        AsciiChart { title: title.into(), height: 12, x_labels }
+    }
+
+    /// Sets the number of character rows of the plot area (minimum 4).
+    #[must_use]
+    pub fn with_height(mut self, height: usize) -> Self {
+        self.height = height.max(4);
+        self
+    }
+
+    /// Renders the chart with the given series.
+    ///
+    /// Series longer than the x-label list are truncated; shorter ones simply
+    /// stop early. Returns a multi-line string ending in a newline.
+    #[must_use]
+    pub fn render(&self, series: &[Series]) -> String {
+        let columns = self.x_labels.len();
+        let max_value = series
+            .iter()
+            .flat_map(|s| s.values.iter().take(columns))
+            .fold(0.0f64, |acc, &v| acc.max(v))
+            .max(1e-12);
+
+        // Grid of (height rows) x (columns), filled with markers.
+        let mut grid = vec![vec![' '; columns]; self.height];
+        for (si, s) in series.iter().enumerate() {
+            let marker = MARKERS[si % MARKERS.len()];
+            for (ci, &v) in s.values.iter().take(columns).enumerate() {
+                let scaled = (v / max_value * (self.height as f64 - 1.0)).round() as usize;
+                let row = self.height - 1 - scaled.min(self.height - 1);
+                grid[row][ci] = marker;
+            }
+        }
+
+        let col_width = self
+            .x_labels
+            .iter()
+            .map(String::len)
+            .max()
+            .unwrap_or(1)
+            .max(3)
+            + 1;
+        let mut out = String::new();
+        out.push_str(&format!("-- {} --\n", self.title));
+        for (ri, row) in grid.iter().enumerate() {
+            // y-axis label: the value this row corresponds to.
+            let value = max_value * (self.height - 1 - ri) as f64 / (self.height as f64 - 1.0);
+            out.push_str(&format!("{value:>9.2} |"));
+            for &cell in row {
+                out.push_str(&format!("{:^width$}", cell, width = col_width));
+            }
+            out.push('\n');
+        }
+        out.push_str(&format!("{:>9} +{}\n", "", "-".repeat(col_width * columns)));
+        out.push_str(&format!("{:>9}  ", ""));
+        for label in &self.x_labels {
+            out.push_str(&format!("{:^width$}", label, width = col_width));
+        }
+        out.push('\n');
+        for (si, s) in series.iter().enumerate() {
+            out.push_str(&format!(
+                "{:>9}  {} = {}\n",
+                "",
+                MARKERS[si % MARKERS.len()],
+                s.name
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn labels(n: usize) -> Vec<String> {
+        (0..n).map(|i| format!("x{i}")).collect()
+    }
+
+    #[test]
+    fn chart_contains_title_labels_and_legend() {
+        let chart = AsciiChart::new("demo", labels(4));
+        let out = chart.render(&[
+            Series::new("rising", vec![1.0, 2.0, 3.0, 4.0]),
+            Series::new("flat", vec![2.0, 2.0, 2.0, 2.0]),
+        ]);
+        assert!(out.contains("-- demo --"));
+        assert!(out.contains("x3"));
+        assert!(out.contains("* = rising"));
+        assert!(out.contains("o = flat"));
+        // The largest value sits on the top row.
+        let first_plot_row = out.lines().nth(1).unwrap();
+        assert!(first_plot_row.contains('*'));
+    }
+
+    #[test]
+    fn height_is_respected_and_clamped() {
+        let chart = AsciiChart::new("h", labels(2)).with_height(6);
+        let out = chart.render(&[Series::new("s", vec![1.0, 2.0])]);
+        // title + 6 plot rows + axis + labels + 1 legend line
+        assert_eq!(out.lines().count(), 1 + 6 + 2 + 1);
+        let tiny = AsciiChart::new("h", labels(2)).with_height(1);
+        let out = tiny.render(&[Series::new("s", vec![1.0, 2.0])]);
+        assert!(out.lines().count() >= 4 + 4);
+    }
+
+    #[test]
+    fn non_finite_and_empty_inputs_are_harmless() {
+        let chart = AsciiChart::new("e", labels(3));
+        let out = chart.render(&[Series::new("weird", vec![f64::NAN, f64::INFINITY, 1.0])]);
+        assert!(out.contains("weird"));
+        let out = chart.render(&[]);
+        assert!(out.contains("-- e --"));
+        let empty = AsciiChart::new("none", Vec::new());
+        let out = empty.render(&[Series::new("s", vec![])]);
+        assert!(out.contains("-- none --"));
+    }
+
+    #[test]
+    fn flat_series_is_drawn_at_the_top_of_its_own_scale() {
+        let chart = AsciiChart::new("f", labels(3)).with_height(5);
+        let out = chart.render(&[Series::new("const", vec![7.0, 7.0, 7.0])]);
+        let first_plot_row = out.lines().nth(1).unwrap();
+        assert_eq!(first_plot_row.matches('*').count(), 3);
+    }
+}

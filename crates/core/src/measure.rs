@@ -1,0 +1,138 @@
+//! The complexity measures compared by the paper.
+
+use std::fmt;
+
+use crate::profile::RadiusProfile;
+
+/// A way of collapsing a radius profile into a single number.
+///
+/// * [`Measure::WorstCase`] is the classical LOCAL running time
+///   `max_v r(v)`;
+/// * [`Measure::Average`] is the paper's new measure `Σ_v r(v) / n`;
+/// * [`Measure::Total`] is the un-normalised sum `Σ_v r(v)`, the quantity the
+///   Section 2 recurrence bounds directly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum Measure {
+    /// `max_v r(v)` — the classical measure.
+    WorstCase,
+    /// `Σ_v r(v) / n` — the paper's measure.
+    Average,
+    /// `Σ_v r(v)`.
+    Total,
+}
+
+impl Measure {
+    /// All measures, in display order.
+    pub const ALL: [Measure; 3] = [Measure::WorstCase, Measure::Average, Measure::Total];
+
+    /// Evaluates the measure on a radius profile.
+    #[must_use]
+    pub fn evaluate(&self, profile: &RadiusProfile) -> f64 {
+        match self {
+            Measure::WorstCase => profile.max() as f64,
+            Measure::Average => profile.average(),
+            Measure::Total => profile.total() as f64,
+        }
+    }
+
+    /// Short machine-friendly name (used in CSV headers).
+    #[must_use]
+    pub fn key(&self) -> &'static str {
+        match self {
+            Measure::WorstCase => "worst_case",
+            Measure::Average => "average",
+            Measure::Total => "total",
+        }
+    }
+}
+
+impl fmt::Display for Measure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            Measure::WorstCase => "worst-case radius",
+            Measure::Average => "average radius",
+            Measure::Total => "total radius",
+        };
+        f.write_str(name)
+    }
+}
+
+/// The two headline measures evaluated side by side, as reported in every
+/// experiment table.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MeasurePair {
+    /// `max_v r(v)`.
+    pub worst_case: f64,
+    /// `Σ_v r(v) / n`.
+    pub average: f64,
+}
+
+impl MeasurePair {
+    /// Evaluates both measures on a profile.
+    #[must_use]
+    pub fn of(profile: &RadiusProfile) -> Self {
+        MeasurePair {
+            worst_case: Measure::WorstCase.evaluate(profile),
+            average: Measure::Average.evaluate(profile),
+        }
+    }
+
+    /// The separation factor `worst_case / average` the paper's Section 2 is
+    /// about (`∞` when the average is 0 but the worst case is not, 1.0 when
+    /// both are 0).
+    #[must_use]
+    pub fn separation(&self) -> f64 {
+        if self.average == 0.0 {
+            if self.worst_case == 0.0 {
+                1.0
+            } else {
+                f64::INFINITY
+            }
+        } else {
+            self.worst_case / self.average
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_evaluate_correctly() {
+        let p = RadiusProfile::new(vec![1, 2, 3, 10]);
+        assert_eq!(Measure::WorstCase.evaluate(&p), 10.0);
+        assert_eq!(Measure::Average.evaluate(&p), 4.0);
+        assert_eq!(Measure::Total.evaluate(&p), 16.0);
+    }
+
+    #[test]
+    fn display_and_keys_are_distinct() {
+        let mut names: Vec<String> = Measure::ALL.iter().map(|m| m.to_string()).collect();
+        names.sort();
+        names.dedup();
+        assert_eq!(names.len(), 3);
+        let mut keys: Vec<&str> = Measure::ALL.iter().map(Measure::key).collect();
+        keys.sort_unstable();
+        keys.dedup();
+        assert_eq!(keys.len(), 3);
+    }
+
+    #[test]
+    fn pair_and_separation() {
+        let p = RadiusProfile::new(vec![1, 1, 1, 1, 16]);
+        let pair = MeasurePair::of(&p);
+        assert_eq!(pair.worst_case, 16.0);
+        assert_eq!(pair.average, 4.0);
+        assert_eq!(pair.separation(), 4.0);
+    }
+
+    #[test]
+    fn separation_edge_cases() {
+        let zero = MeasurePair { worst_case: 0.0, average: 0.0 };
+        assert_eq!(zero.separation(), 1.0);
+        let degenerate = MeasurePair { worst_case: 5.0, average: 0.0 };
+        assert!(degenerate.separation().is_infinite());
+    }
+}

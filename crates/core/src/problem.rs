@@ -1,0 +1,257 @@
+//! A uniform interface over the problems studied in the experiments.
+//!
+//! Each [`Problem`] bundles an algorithm, the executor that drives it, and
+//! the verifier that checks its output, so the experiment harness can sweep
+//! over problems without caring about their output types.
+
+use std::fmt;
+
+use avglocal_algorithms::{
+    run_mis, run_three_coloring, verify, FullInfoColoring, FullInfoLargestId, KnowTheLeader,
+    LandmarkColoring, LargestId,
+};
+use avglocal_graph::Graph;
+use avglocal_runtime::{BallExecutor, Knowledge};
+
+use crate::error::{CoreError, Result};
+use crate::profile::RadiusProfile;
+
+/// The problems (algorithm + verifier) available to the experiment harness.
+///
+/// All of them run on cycles; [`Problem::LargestId`], [`Problem::KnowTheLeader`]
+/// and the full-information baselines also run on arbitrary connected graphs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum Problem {
+    /// The paper's Section 2 problem with its ball-growing algorithm.
+    LargestId,
+    /// Largest ID solved by the lazy full-information baseline.
+    FullInfoLargestId,
+    /// Every node must name the leader — no early stopping is possible.
+    KnowTheLeader,
+    /// 3-colouring of the oriented ring via Cole–Vishkin.
+    ThreeColoring,
+    /// Variable-radius 4-colouring via landmarks (Lemma 2 style).
+    LandmarkColoring,
+    /// 3-colouring by the full-information baseline.
+    FullInfoColoring,
+    /// Maximal independent set on the ring via 3-colouring.
+    Mis,
+    /// Maximal matching on the ring via 3-colouring and successor-edge claims.
+    Matching,
+}
+
+impl Problem {
+    /// All problems, in display order.
+    pub const ALL: [Problem; 8] = [
+        Problem::LargestId,
+        Problem::FullInfoLargestId,
+        Problem::KnowTheLeader,
+        Problem::ThreeColoring,
+        Problem::LandmarkColoring,
+        Problem::FullInfoColoring,
+        Problem::Mis,
+        Problem::Matching,
+    ];
+
+    /// Short machine-friendly name.
+    #[must_use]
+    pub fn key(&self) -> &'static str {
+        match self {
+            Problem::LargestId => "largest_id",
+            Problem::FullInfoLargestId => "full_info_largest_id",
+            Problem::KnowTheLeader => "know_the_leader",
+            Problem::ThreeColoring => "three_coloring",
+            Problem::LandmarkColoring => "landmark_coloring",
+            Problem::FullInfoColoring => "full_info_coloring",
+            Problem::Mis => "mis",
+            Problem::Matching => "matching",
+        }
+    }
+
+    /// Returns `true` when the problem's algorithm requires the graph to be a
+    /// cycle.
+    #[must_use]
+    pub fn requires_cycle(&self) -> bool {
+        matches!(
+            self,
+            Problem::ThreeColoring
+                | Problem::LandmarkColoring
+                | Problem::FullInfoColoring
+                | Problem::Mis
+                | Problem::Matching
+        )
+    }
+
+    /// Runs the problem's algorithm on `graph`, verifies the output, and
+    /// returns the radius profile.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Runtime`] when the execution fails (for example
+    /// when a ring-only algorithm is run on another topology) and
+    /// [`CoreError::InvalidOutput`] when the verifier rejects the output —
+    /// the latter should never happen and indicates a bug.
+    pub fn run(&self, graph: &Graph) -> Result<RadiusProfile> {
+        let knowledge = Knowledge::none();
+        match self {
+            Problem::LargestId => {
+                let run = BallExecutor::new().run(graph, &LargestId, knowledge)?;
+                self.check(verify::is_correct_largest_id(graph, run.outputs()))?;
+                Ok(RadiusProfile::from_ball_execution(&run))
+            }
+            Problem::FullInfoLargestId => {
+                let run = BallExecutor::new().run(graph, &FullInfoLargestId, knowledge)?;
+                self.check(verify::is_correct_largest_id(graph, run.outputs()))?;
+                Ok(RadiusProfile::from_ball_execution(&run))
+            }
+            Problem::KnowTheLeader => {
+                let run = BallExecutor::new().run(graph, &KnowTheLeader, knowledge)?;
+                let expected = graph
+                    .max_identifier_node()
+                    .map(|v| graph.identifier(v))
+                    .ok_or_else(|| CoreError::InvalidConfiguration {
+                        reason: "cannot elect a leader on an empty graph".to_string(),
+                    })?;
+                self.check(run.outputs().iter().all(|&id| id == expected))?;
+                Ok(RadiusProfile::from_ball_execution(&run))
+            }
+            Problem::ThreeColoring => {
+                let (colors, rounds) = run_three_coloring(graph)?;
+                self.check(verify::is_proper_coloring(graph, &colors, 3))?;
+                Ok(RadiusProfile::new(rounds))
+            }
+            Problem::LandmarkColoring => {
+                let run = BallExecutor::new().run(graph, &LandmarkColoring, knowledge)?;
+                self.check(verify::is_proper_coloring(graph, run.outputs(), 4))?;
+                Ok(RadiusProfile::from_ball_execution(&run))
+            }
+            Problem::FullInfoColoring => {
+                let run = BallExecutor::new().run(graph, &FullInfoColoring, knowledge)?;
+                self.check(verify::is_proper_coloring(graph, run.outputs(), 3))?;
+                Ok(RadiusProfile::from_ball_execution(&run))
+            }
+            Problem::Mis => {
+                let in_set = run_mis(graph)?;
+                self.check(verify::is_maximal_independent_set(graph, &in_set))?;
+                // The MIS radii come from the round-based pipeline; re-run via
+                // the executor to obtain decision rounds.
+                let orientation = avglocal_algorithms::RingOrientation::trace(graph)?;
+                let algo = avglocal_algorithms::MisRing::new(orientation);
+                let run = avglocal_runtime::SyncExecutor::new().run(graph, &algo, knowledge)?;
+                RadiusProfile::from_execution(&run)
+            }
+            Problem::Matching => {
+                let orientation = avglocal_algorithms::RingOrientation::trace(graph)?;
+                let algo = avglocal_algorithms::MatchingRing::new(orientation);
+                let run = avglocal_runtime::SyncExecutor::new().run(graph, &algo, knowledge)?;
+                let matched: Vec<Option<usize>> = run
+                    .outputs()
+                    .into_iter()
+                    .map(|partner| {
+                        partner.and_then(|id| graph.node_by_identifier(id).map(|v| v.index()))
+                    })
+                    .collect();
+                self.check(verify::is_maximal_matching(graph, &matched))?;
+                RadiusProfile::from_execution(&run)
+            }
+        }
+    }
+
+    fn check(&self, valid: bool) -> Result<()> {
+        if valid {
+            Ok(())
+        } else {
+            Err(CoreError::InvalidOutput { problem: self.key().to_string() })
+        }
+    }
+}
+
+impl fmt::Display for Problem {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            Problem::LargestId => "largest ID (ball-growing)",
+            Problem::FullInfoLargestId => "largest ID (full information)",
+            Problem::KnowTheLeader => "know the leader",
+            Problem::ThreeColoring => "3-colouring (Cole-Vishkin)",
+            Problem::LandmarkColoring => "4-colouring (landmarks)",
+            Problem::FullInfoColoring => "3-colouring (full information)",
+            Problem::Mis => "maximal independent set",
+            Problem::Matching => "maximal matching",
+        };
+        f.write_str(name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use avglocal_graph::{generators, IdAssignment};
+
+    fn ring(n: usize, seed: u64) -> Graph {
+        let mut g = generators::cycle(n).unwrap();
+        IdAssignment::Shuffled { seed }.apply(&mut g).unwrap();
+        g
+    }
+
+    #[test]
+    fn every_problem_runs_on_a_ring() {
+        let g = ring(24, 7);
+        for problem in Problem::ALL {
+            let profile = problem.run(&g).expect("problem should run on a ring");
+            assert_eq!(profile.len(), 24, "{problem}");
+            assert!(profile.max() <= 24, "{problem}");
+        }
+    }
+
+    #[test]
+    fn largest_id_has_smaller_average_than_baseline() {
+        let g = ring(40, 3);
+        let smart = Problem::LargestId.run(&g).unwrap();
+        let lazy = Problem::FullInfoLargestId.run(&g).unwrap();
+        assert!(smart.average() < lazy.average());
+        assert_eq!(smart.max(), lazy.max());
+    }
+
+    #[test]
+    fn coloring_beats_know_the_leader_on_average() {
+        let g = ring(64, 9);
+        let coloring = Problem::ThreeColoring.run(&g).unwrap();
+        let leader = Problem::KnowTheLeader.run(&g).unwrap();
+        assert!(coloring.average() < leader.average());
+        assert!(coloring.max() < leader.max());
+    }
+
+    #[test]
+    fn ring_only_problems_fail_on_other_topologies() {
+        let mut star = generators::star(8).unwrap();
+        IdAssignment::Shuffled { seed: 1 }.apply(&mut star).unwrap();
+        assert!(Problem::ThreeColoring.run(&star).is_err());
+        assert!(Problem::Mis.run(&star).is_err());
+        assert!(Problem::Matching.run(&star).is_err());
+        // Topology-agnostic problems still work.
+        assert!(Problem::LargestId.run(&star).is_ok());
+        assert!(Problem::KnowTheLeader.run(&star).is_ok());
+    }
+
+    #[test]
+    fn keys_and_names_are_distinct() {
+        let mut keys: Vec<&str> = Problem::ALL.iter().map(Problem::key).collect();
+        keys.sort_unstable();
+        keys.dedup();
+        assert_eq!(keys.len(), Problem::ALL.len());
+        let mut names: Vec<String> = Problem::ALL.iter().map(|p| p.to_string()).collect();
+        names.sort();
+        names.dedup();
+        assert_eq!(names.len(), Problem::ALL.len());
+    }
+
+    #[test]
+    fn requires_cycle_classification() {
+        assert!(!Problem::LargestId.requires_cycle());
+        assert!(Problem::ThreeColoring.requires_cycle());
+        assert!(Problem::Mis.requires_cycle());
+        assert!(Problem::Matching.requires_cycle());
+        assert!(!Problem::KnowTheLeader.requires_cycle());
+    }
+}

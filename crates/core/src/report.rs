@@ -1,0 +1,174 @@
+//! Plain-text and CSV report tables.
+//!
+//! The benchmark harness prints every experiment as a table; this module
+//! keeps the formatting in one place so the output of
+//! `cargo run -p avglocal-bench --bin experiments` is consistent.
+
+use std::fmt;
+
+/// A simple table: a title, a header row, and data rows.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Table {
+    title: String,
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates an empty table with the given title and column headers.
+    #[must_use]
+    pub fn new<S: Into<String>>(title: S, headers: &[&str]) -> Self {
+        Table {
+            title: title.into(),
+            headers: headers.iter().map(|h| (*h).to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row. The row is padded or truncated to the header width.
+    pub fn push_row(&mut self, cells: Vec<String>) {
+        let mut cells = cells;
+        cells.resize(self.headers.len(), String::new());
+        self.rows.push(cells);
+    }
+
+    /// Number of data rows.
+    #[must_use]
+    pub fn row_count(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// The table title.
+    #[must_use]
+    pub fn title(&self) -> &str {
+        &self.title
+    }
+
+    /// Renders the table as aligned plain text.
+    #[must_use]
+    pub fn to_text(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        out.push_str(&format!("== {} ==\n", self.title));
+        let header: Vec<String> = self
+            .headers
+            .iter()
+            .enumerate()
+            .map(|(i, h)| format!("{:width$}", h, width = widths[i]))
+            .collect();
+        out.push_str(&header.join("  "));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len().saturating_sub(1))));
+        out.push('\n');
+        for row in &self.rows {
+            let cells: Vec<String> = row
+                .iter()
+                .enumerate()
+                .map(|(i, c)| format!("{:width$}", c, width = widths[i]))
+                .collect();
+            out.push_str(&cells.join("  "));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Renders the table as CSV (headers included, fields quoted only when
+    /// they contain a comma).
+    #[must_use]
+    pub fn to_csv(&self) -> String {
+        let quote = |s: &str| {
+            if s.contains(',') {
+                format!("\"{s}\"")
+            } else {
+                s.to_string()
+            }
+        };
+        let mut out = String::new();
+        out.push_str(&self.headers.iter().map(|h| quote(h)).collect::<Vec<_>>().join(","));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&row.iter().map(|c| quote(c)).collect::<Vec<_>>().join(","));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_text())
+    }
+}
+
+/// Formats a float with three decimal places — the convention used across the
+/// experiment tables.
+#[must_use]
+pub fn fmt_float(value: f64) -> String {
+    format!("{value:.3}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Table {
+        let mut t = Table::new("demo", &["n", "average", "worst"]);
+        t.push_row(vec!["16".into(), "2.125".into(), "8".into()]);
+        t.push_row(vec!["32".into(), "2.781".into(), "16".into()]);
+        t
+    }
+
+    #[test]
+    fn text_rendering_contains_everything() {
+        let text = sample().to_text();
+        assert!(text.contains("== demo =="));
+        assert!(text.contains("average"));
+        assert!(text.contains("2.781"));
+        assert_eq!(text.lines().count(), 5);
+    }
+
+    #[test]
+    fn csv_rendering() {
+        let csv = sample().to_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], "n,average,worst");
+        assert_eq!(lines[1], "16,2.125,8");
+        assert_eq!(lines.len(), 3);
+    }
+
+    #[test]
+    fn csv_quotes_commas() {
+        let mut t = Table::new("q", &["a"]);
+        t.push_row(vec!["x,y".into()]);
+        assert!(t.to_csv().contains("\"x,y\""));
+    }
+
+    #[test]
+    fn rows_are_padded_and_truncated() {
+        let mut t = Table::new("pad", &["a", "b"]);
+        t.push_row(vec!["1".into()]);
+        t.push_row(vec!["1".into(), "2".into(), "3".into()]);
+        assert_eq!(t.row_count(), 2);
+        let csv = t.to_csv();
+        assert!(csv.contains("1,\n") || csv.contains("1,"));
+        assert!(!csv.contains("3"));
+    }
+
+    #[test]
+    fn display_matches_text() {
+        let t = sample();
+        assert_eq!(format!("{t}"), t.to_text());
+        assert_eq!(t.title(), "demo");
+    }
+
+    #[test]
+    fn float_formatting() {
+        assert_eq!(fmt_float(1.0), "1.000");
+        assert_eq!(fmt_float(2.71828), "2.718");
+    }
+}

@@ -1,0 +1,155 @@
+//! The paper's motivating applications (Section 1), made measurable.
+//!
+//! Two scenarios are modelled:
+//!
+//! * **Parallel simulation.** A simulator replays every node's local
+//!   computation as a job whose duration is the node's radius `r(v)`; jobs
+//!   run on `k` workers. The makespan is governed by `Σ r(v) / k` (i.e. by
+//!   the *average* radius) plus the longest single job — so an algorithm that
+//!   is better on average finishes earlier even if its worst case is the
+//!   same.
+//! * **Dynamic updates.** After a change at a random node, only the nodes
+//!   whose output depends on the changed node need to recompute; the expected
+//!   work is again driven by the radius profile.
+
+use crate::profile::RadiusProfile;
+
+/// Result of scheduling the per-node jobs on a fixed number of workers.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScheduleOutcome {
+    /// Number of workers used.
+    pub workers: usize,
+    /// Completion time of the last job.
+    pub makespan: usize,
+    /// Sum of all job durations (work).
+    pub total_work: usize,
+    /// Lower bound `max(⌈work / workers⌉, longest job)`.
+    pub lower_bound: usize,
+}
+
+impl ScheduleOutcome {
+    /// Ratio of the achieved makespan to the trivial lower bound (always
+    /// at least 1.0; list scheduling guarantees it is below 2.0).
+    #[must_use]
+    pub fn approximation_ratio(&self) -> f64 {
+        if self.lower_bound == 0 {
+            1.0
+        } else {
+            self.makespan as f64 / self.lower_bound as f64
+        }
+    }
+}
+
+/// Greedy list scheduling (longest processing time first) of the per-node
+/// radii on `workers` identical workers.
+///
+/// # Panics
+///
+/// Panics if `workers == 0`.
+#[must_use]
+pub fn schedule_radii(profile: &RadiusProfile, workers: usize) -> ScheduleOutcome {
+    assert!(workers > 0, "scheduling requires at least one worker");
+    let mut jobs: Vec<usize> = profile.radii().to_vec();
+    jobs.sort_unstable_by(|a, b| b.cmp(a));
+    let mut loads = vec![0usize; workers];
+    for job in &jobs {
+        let laziest = loads
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, &l)| l)
+            .map(|(i, _)| i)
+            .expect("there is at least one worker");
+        loads[laziest] += job;
+    }
+    let total_work: usize = jobs.iter().sum();
+    let longest = jobs.first().copied().unwrap_or(0);
+    ScheduleOutcome {
+        workers,
+        makespan: loads.into_iter().max().unwrap_or(0),
+        total_work,
+        lower_bound: longest.max(total_work.div_ceil(workers)),
+    }
+}
+
+/// Expected cost of updating the outputs after a change at a uniformly random
+/// node.
+///
+/// When the input of node `u` changes, every node `v` whose ball of radius
+/// `r(v)` contains `u` must recompute. On a cycle, node `v`'s ball contains
+/// `u` iff `dist(u, v) <= r(v)`, so a uniformly random change invalidates
+/// `Σ_v min(2·r(v) + 1, n) / n` nodes in expectation — a quantity controlled
+/// by the *average* radius, not the worst case.
+#[must_use]
+pub fn expected_invalidated_nodes(profile: &RadiusProfile) -> f64 {
+    let n = profile.len();
+    if n == 0 {
+        return 0.0;
+    }
+    let total: usize = profile.radii().iter().map(|&r| (2 * r + 1).min(n)).sum();
+    total as f64 / n as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scheduling_balances_uniform_jobs() {
+        let profile = RadiusProfile::new(vec![2; 8]);
+        let outcome = schedule_radii(&profile, 4);
+        assert_eq!(outcome.makespan, 4);
+        assert_eq!(outcome.total_work, 16);
+        assert_eq!(outcome.lower_bound, 4);
+        assert_eq!(outcome.approximation_ratio(), 1.0);
+    }
+
+    #[test]
+    fn scheduling_respects_the_longest_job() {
+        let profile = RadiusProfile::new(vec![10, 1, 1, 1, 1]);
+        let outcome = schedule_radii(&profile, 4);
+        assert_eq!(outcome.makespan, 10);
+        assert_eq!(outcome.lower_bound, 10);
+    }
+
+    #[test]
+    fn single_worker_serialises_everything() {
+        let profile = RadiusProfile::new(vec![3, 1, 4]);
+        let outcome = schedule_radii(&profile, 1);
+        assert_eq!(outcome.makespan, 8);
+        assert_eq!(outcome.total_work, 8);
+    }
+
+    #[test]
+    fn approximation_ratio_is_modest() {
+        let profile = RadiusProfile::new((1..50).collect::<Vec<usize>>());
+        for workers in [2usize, 3, 7, 16] {
+            let outcome = schedule_radii(&profile, workers);
+            assert!(outcome.approximation_ratio() < 1.5, "workers = {workers}");
+            assert!(outcome.makespan >= outcome.lower_bound);
+        }
+    }
+
+    #[test]
+    fn empty_profile_schedules_trivially() {
+        let outcome = schedule_radii(&RadiusProfile::new(vec![]), 3);
+        assert_eq!(outcome.makespan, 0);
+        assert_eq!(outcome.approximation_ratio(), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one worker")]
+    fn zero_workers_panics() {
+        let _ = schedule_radii(&RadiusProfile::new(vec![1]), 0);
+    }
+
+    #[test]
+    fn invalidation_counts_ball_sizes() {
+        // Radii [0, 0, 0, 1]: balls of size 1, 1, 1, 3 -> expectation 6/4.
+        let profile = RadiusProfile::new(vec![0, 0, 0, 1]);
+        assert!((expected_invalidated_nodes(&profile) - 1.5).abs() < 1e-12);
+        // Saturating: a radius covering the whole cycle counts n, not more.
+        let profile = RadiusProfile::new(vec![100, 0, 0, 0]);
+        assert!((expected_invalidated_nodes(&profile) - (4 + 3) as f64 / 4.0).abs() < 1e-12);
+        assert_eq!(expected_invalidated_nodes(&RadiusProfile::new(vec![])), 0.0);
+    }
+}

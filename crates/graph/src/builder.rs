@@ -1,0 +1,184 @@
+//! Incremental construction of graphs with validation.
+
+use crate::error::{GraphError, Result};
+use crate::{Graph, Identifier, NodeId};
+
+/// Builder for [`Graph`] values that defers validation to a single point.
+///
+/// The builder collects nodes (by identifier) and edges (by identifier pair)
+/// and checks uniqueness of identifiers and well-formedness of edges when
+/// [`GraphBuilder::build`] is called. It is convenient when a graph is
+/// described by data (for example a list of identifier pairs) rather than
+/// constructed programmatically.
+///
+/// # Examples
+///
+/// ```
+/// use avglocal_graph::GraphBuilder;
+///
+/// # fn main() -> Result<(), avglocal_graph::GraphError> {
+/// let g = GraphBuilder::new()
+///     .node(10)
+///     .node(20)
+///     .node(30)
+///     .edge(10, 20)
+///     .edge(20, 30)
+///     .build()?;
+/// assert_eq!(g.node_count(), 3);
+/// assert_eq!(g.edge_count(), 2);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct GraphBuilder {
+    identifiers: Vec<u64>,
+    edges: Vec<(u64, u64)>,
+}
+
+impl GraphBuilder {
+    /// Creates an empty builder.
+    #[must_use]
+    pub fn new() -> Self {
+        GraphBuilder::default()
+    }
+
+    /// Declares a node carrying identifier `identifier`.
+    #[must_use]
+    pub fn node(mut self, identifier: u64) -> Self {
+        self.identifiers.push(identifier);
+        self
+    }
+
+    /// Declares several nodes at once.
+    #[must_use]
+    pub fn nodes<I: IntoIterator<Item = u64>>(mut self, identifiers: I) -> Self {
+        self.identifiers.extend(identifiers);
+        self
+    }
+
+    /// Declares an undirected edge between the nodes carrying `a` and `b`.
+    #[must_use]
+    pub fn edge(mut self, a: u64, b: u64) -> Self {
+        self.edges.push((a, b));
+        self
+    }
+
+    /// Declares several edges at once.
+    #[must_use]
+    pub fn edges<I: IntoIterator<Item = (u64, u64)>>(mut self, edges: I) -> Self {
+        self.edges.extend(edges);
+        self
+    }
+
+    /// Number of nodes declared so far.
+    #[must_use]
+    pub fn node_count(&self) -> usize {
+        self.identifiers.len()
+    }
+
+    /// Number of edges declared so far.
+    #[must_use]
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Validates the description and produces the [`Graph`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::DuplicateIdentifier`] when two nodes share an
+    /// identifier, [`GraphError::InvalidGeneratorParameter`] when an edge
+    /// references an undeclared identifier, and propagates edge errors
+    /// ([`GraphError::SelfLoop`], [`GraphError::DuplicateEdge`]).
+    pub fn build(self) -> Result<Graph> {
+        let mut graph = Graph::with_capacity(self.identifiers.len());
+        let mut ids: Vec<NodeId> = Vec::with_capacity(self.identifiers.len());
+        for raw in &self.identifiers {
+            ids.push(graph.add_node(Identifier::new(*raw)));
+        }
+        if !graph.has_unique_identifiers() {
+            let dup = duplicate(&self.identifiers)
+                .expect("uniqueness check failed, so a duplicate exists");
+            return Err(GraphError::DuplicateIdentifier { identifier: dup });
+        }
+        for (a, b) in &self.edges {
+            let u = graph.node_by_identifier(Identifier::new(*a)).ok_or_else(|| {
+                GraphError::InvalidGeneratorParameter {
+                    reason: format!("edge references unknown identifier {a}"),
+                }
+            })?;
+            let v = graph.node_by_identifier(Identifier::new(*b)).ok_or_else(|| {
+                GraphError::InvalidGeneratorParameter {
+                    reason: format!("edge references unknown identifier {b}"),
+                }
+            })?;
+            graph.add_edge(u, v)?;
+        }
+        Ok(graph)
+    }
+}
+
+fn duplicate(values: &[u64]) -> Option<u64> {
+    let mut sorted = values.to_vec();
+    sorted.sort_unstable();
+    sorted.windows(2).find(|w| w[0] == w[1]).map(|w| w[0])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_simple_graph() {
+        let g = GraphBuilder::new()
+            .nodes([1, 2, 3, 4])
+            .edges([(1, 2), (2, 3), (3, 4), (4, 1)])
+            .build()
+            .unwrap();
+        assert_eq!(g.node_count(), 4);
+        assert_eq!(g.edge_count(), 4);
+        assert!(g.has_unique_identifiers());
+    }
+
+    #[test]
+    fn duplicate_identifier_rejected() {
+        let err = GraphBuilder::new().node(1).node(1).build().unwrap_err();
+        assert_eq!(err, GraphError::DuplicateIdentifier { identifier: 1 });
+    }
+
+    #[test]
+    fn unknown_identifier_in_edge_rejected() {
+        let err = GraphBuilder::new().node(1).node(2).edge(1, 9).build().unwrap_err();
+        assert!(matches!(err, GraphError::InvalidGeneratorParameter { .. }));
+    }
+
+    #[test]
+    fn self_loop_rejected() {
+        let err = GraphBuilder::new().node(1).edge(1, 1).build().unwrap_err();
+        assert!(matches!(err, GraphError::SelfLoop { .. }));
+    }
+
+    #[test]
+    fn duplicate_edge_rejected() {
+        let err = GraphBuilder::new()
+            .nodes([1, 2])
+            .edge(1, 2)
+            .edge(2, 1)
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, GraphError::DuplicateEdge { .. }));
+    }
+
+    #[test]
+    fn counts_track_declarations() {
+        let b = GraphBuilder::new().nodes([1, 2, 3]).edge(1, 2);
+        assert_eq!(b.node_count(), 3);
+        assert_eq!(b.edge_count(), 1);
+    }
+
+    #[test]
+    fn empty_builder_builds_empty_graph() {
+        let g = GraphBuilder::new().build().unwrap();
+        assert!(g.is_empty());
+    }
+}

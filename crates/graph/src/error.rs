@@ -1,0 +1,116 @@
+//! Error types for graph construction and manipulation.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::NodeId;
+
+/// Errors produced while building or mutating a [`crate::Graph`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum GraphError {
+    /// A node id referred to a node that does not exist in the graph.
+    NodeOutOfBounds {
+        /// The offending node id.
+        node: NodeId,
+        /// Number of nodes in the graph at the time of the call.
+        node_count: usize,
+    },
+    /// An edge `(u, u)` was requested; simple graphs have no self loops.
+    SelfLoop {
+        /// The node the self loop was requested on.
+        node: NodeId,
+    },
+    /// The edge already exists; simple graphs have no parallel edges.
+    DuplicateEdge {
+        /// First endpoint.
+        u: NodeId,
+        /// Second endpoint.
+        v: NodeId,
+    },
+    /// Two nodes were assigned the same identifier.
+    DuplicateIdentifier {
+        /// The duplicated identifier value.
+        identifier: u64,
+    },
+    /// An identifier assignment did not cover every node exactly once.
+    AssignmentLengthMismatch {
+        /// Number of identifiers supplied.
+        provided: usize,
+        /// Number of nodes that must be covered.
+        expected: usize,
+    },
+    /// A generator was asked for a graph it cannot produce (e.g. a cycle on
+    /// fewer than three nodes).
+    InvalidGeneratorParameter {
+        /// Human-readable description of the violated constraint.
+        reason: String,
+    },
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::NodeOutOfBounds { node, node_count } => {
+                write!(f, "node {node} is out of bounds for a graph with {node_count} nodes")
+            }
+            GraphError::SelfLoop { node } => {
+                write!(f, "self loop requested on node {node}")
+            }
+            GraphError::DuplicateEdge { u, v } => {
+                write!(f, "edge ({u}, {v}) already exists")
+            }
+            GraphError::DuplicateIdentifier { identifier } => {
+                write!(f, "identifier {identifier} assigned to more than one node")
+            }
+            GraphError::AssignmentLengthMismatch { provided, expected } => {
+                write!(
+                    f,
+                    "identifier assignment provides {provided} identifiers but the graph has {expected} nodes"
+                )
+            }
+            GraphError::InvalidGeneratorParameter { reason } => {
+                write!(f, "invalid generator parameter: {reason}")
+            }
+        }
+    }
+}
+
+impl Error for GraphError {}
+
+/// Convenience alias for results whose error type is [`GraphError`].
+pub type Result<T> = std::result::Result<T, GraphError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = GraphError::NodeOutOfBounds { node: NodeId::new(9), node_count: 4 };
+        assert!(e.to_string().contains("v9"));
+        assert!(e.to_string().contains('4'));
+
+        let e = GraphError::SelfLoop { node: NodeId::new(2) };
+        assert!(e.to_string().contains("self loop"));
+
+        let e = GraphError::DuplicateEdge { u: NodeId::new(1), v: NodeId::new(2) };
+        assert!(e.to_string().contains("already exists"));
+
+        let e = GraphError::DuplicateIdentifier { identifier: 7 };
+        assert!(e.to_string().contains('7'));
+
+        let e = GraphError::AssignmentLengthMismatch { provided: 3, expected: 5 };
+        assert!(e.to_string().contains('3'));
+        assert!(e.to_string().contains('5'));
+
+        let e = GraphError::InvalidGeneratorParameter { reason: "cycle needs n >= 3".into() };
+        assert!(e.to_string().contains("cycle needs"));
+    }
+
+    #[test]
+    fn errors_are_std_errors() {
+        fn assert_error<E: Error + Send + Sync + 'static>() {}
+        assert_error::<GraphError>();
+    }
+}

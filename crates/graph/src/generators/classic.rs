@@ -1,0 +1,124 @@
+//! Classic named graphs: complete graphs, complete bipartite graphs, Petersen.
+
+use crate::error::{GraphError, Result};
+use crate::Graph;
+
+/// The complete graph `K_n` on `n >= 1` nodes.
+///
+/// # Errors
+///
+/// Returns [`GraphError::InvalidGeneratorParameter`] when `n == 0`.
+pub fn complete(n: usize) -> Result<Graph> {
+    if n == 0 {
+        return Err(GraphError::InvalidGeneratorParameter {
+            reason: "a complete graph needs at least 1 node".to_string(),
+        });
+    }
+    let mut g = Graph::with_capacity(n);
+    let nodes = g.add_nodes_with_default_ids(n);
+    for i in 0..n {
+        for j in (i + 1)..n {
+            g.add_edge(nodes[i], nodes[j])?;
+        }
+    }
+    Ok(g)
+}
+
+/// The complete bipartite graph `K_{a,b}`.
+///
+/// The first `a` nodes form one side, the remaining `b` nodes the other.
+///
+/// # Errors
+///
+/// Returns [`GraphError::InvalidGeneratorParameter`] when either side is empty.
+pub fn complete_bipartite(a: usize, b: usize) -> Result<Graph> {
+    if a == 0 || b == 0 {
+        return Err(GraphError::InvalidGeneratorParameter {
+            reason: format!("complete bipartite graph needs both sides non-empty, got ({a}, {b})"),
+        });
+    }
+    let mut g = Graph::with_capacity(a + b);
+    let nodes = g.add_nodes_with_default_ids(a + b);
+    for i in 0..a {
+        for j in 0..b {
+            g.add_edge(nodes[i], nodes[a + j])?;
+        }
+    }
+    Ok(g)
+}
+
+/// The Petersen graph: 10 nodes, 15 edges, 3-regular, girth 5.
+///
+/// A standard stress-test topology for colouring algorithms beyond the ring.
+#[must_use]
+pub fn petersen() -> Graph {
+    let mut g = Graph::with_capacity(10);
+    let nodes = g.add_nodes_with_default_ids(10);
+    // Outer 5-cycle.
+    for i in 0..5 {
+        g.add_edge(nodes[i], nodes[(i + 1) % 5]).expect("outer cycle edges are simple");
+    }
+    // Inner pentagram.
+    for i in 0..5 {
+        g.add_edge(nodes[5 + i], nodes[5 + (i + 2) % 5]).expect("inner star edges are simple");
+    }
+    // Spokes.
+    for i in 0..5 {
+        g.add_edge(nodes[i], nodes[5 + i]).expect("spoke edges are simple");
+    }
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traversal;
+
+    #[test]
+    fn complete_graph_counts() {
+        let g = complete(6).unwrap();
+        assert_eq!(g.node_count(), 6);
+        assert_eq!(g.edge_count(), 15);
+        assert_eq!(g.min_degree(), Some(5));
+        assert_eq!(traversal::diameter(&g), Some(1));
+    }
+
+    #[test]
+    fn complete_single_node() {
+        let g = complete(1).unwrap();
+        assert_eq!(g.node_count(), 1);
+        assert_eq!(g.edge_count(), 0);
+    }
+
+    #[test]
+    fn complete_rejects_zero() {
+        assert!(complete(0).is_err());
+    }
+
+    #[test]
+    fn complete_bipartite_counts() {
+        let g = complete_bipartite(3, 4).unwrap();
+        assert_eq!(g.node_count(), 7);
+        assert_eq!(g.edge_count(), 12);
+        assert!(traversal::is_bipartite(&g));
+        assert_eq!(traversal::diameter(&g), Some(2));
+    }
+
+    #[test]
+    fn complete_bipartite_rejects_empty_side() {
+        assert!(complete_bipartite(0, 3).is_err());
+        assert!(complete_bipartite(3, 0).is_err());
+    }
+
+    #[test]
+    fn petersen_properties() {
+        let g = petersen();
+        assert_eq!(g.node_count(), 10);
+        assert_eq!(g.edge_count(), 15);
+        assert_eq!(g.min_degree(), Some(3));
+        assert_eq!(g.max_degree(), Some(3));
+        assert_eq!(traversal::diameter(&g), Some(2));
+        assert_eq!(traversal::girth(&g), Some(5));
+        assert!(!traversal::is_bipartite(&g));
+    }
+}

@@ -1,0 +1,50 @@
+//! Graph family generators.
+//!
+//! Every generator returns a [`crate::Graph`] whose node `i` carries the
+//! default identifier `i`; experiments re-assign identifiers afterwards with
+//! [`crate::assignment::IdAssignment`] so that the worst-case-over-permutations
+//! measure of the paper can be explored independently of the topology.
+//!
+//! The cycle (ring) is the topology the paper studies; the other families are
+//! provided so that the "further work" direction of the paper — general graphs
+//! — can be explored with the same tooling.
+
+mod classic;
+mod cycle;
+mod grid;
+mod random;
+mod tree;
+
+pub use classic::{complete, complete_bipartite, petersen};
+pub use cycle::{cycle, cycle_neighbors, path, ring_lattice};
+pub use grid::{grid, hypercube, torus};
+pub use random::{erdos_renyi, gnm_random, random_tree};
+pub use tree::{balanced_tree, caterpillar, star};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traversal;
+
+    #[test]
+    fn all_generators_have_unique_default_identifiers() {
+        let graphs = vec![
+            cycle(5).unwrap(),
+            path(5).unwrap(),
+            ring_lattice(8, 4).unwrap(),
+            complete(5).unwrap(),
+            complete_bipartite(3, 4).unwrap(),
+            petersen(),
+            grid(3, 4).unwrap(),
+            torus(3, 4).unwrap(),
+            hypercube(3).unwrap(),
+            star(6).unwrap(),
+            balanced_tree(2, 3).unwrap(),
+            caterpillar(4, 2).unwrap(),
+        ];
+        for g in graphs {
+            assert!(g.has_unique_identifiers());
+            assert!(traversal::is_connected(&g));
+        }
+    }
+}

@@ -1,0 +1,189 @@
+//! Random graph models.
+//!
+//! All random generators take an explicit `&mut impl Rng` so experiments can
+//! be reproduced from a seed.
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+use crate::error::{GraphError, Result};
+use crate::Graph;
+
+/// The Erdős–Rényi model `G(n, p)`: each of the `n(n-1)/2` potential edges is
+/// present independently with probability `p`.
+///
+/// # Errors
+///
+/// Returns [`GraphError::InvalidGeneratorParameter`] when `n == 0` or `p` is
+/// not a probability in `[0, 1]`.
+pub fn erdos_renyi<R: Rng + ?Sized>(n: usize, p: f64, rng: &mut R) -> Result<Graph> {
+    if n == 0 {
+        return Err(GraphError::InvalidGeneratorParameter {
+            reason: "G(n, p) needs at least 1 node".to_string(),
+        });
+    }
+    if !(0.0..=1.0).contains(&p) || p.is_nan() {
+        return Err(GraphError::InvalidGeneratorParameter {
+            reason: format!("edge probability must be in [0, 1], got {p}"),
+        });
+    }
+    let mut g = Graph::with_capacity(n);
+    let nodes = g.add_nodes_with_default_ids(n);
+    for i in 0..n {
+        for j in (i + 1)..n {
+            if rng.gen_bool(p) {
+                g.add_edge(nodes[i], nodes[j])?;
+            }
+        }
+    }
+    Ok(g)
+}
+
+/// The Erdős–Rényi model `G(n, m)`: exactly `m` edges chosen uniformly at
+/// random among all `n(n-1)/2` potential edges.
+///
+/// # Errors
+///
+/// Returns [`GraphError::InvalidGeneratorParameter`] when `n == 0` or `m`
+/// exceeds the number of possible edges.
+pub fn gnm_random<R: Rng + ?Sized>(n: usize, m: usize, rng: &mut R) -> Result<Graph> {
+    if n == 0 {
+        return Err(GraphError::InvalidGeneratorParameter {
+            reason: "G(n, m) needs at least 1 node".to_string(),
+        });
+    }
+    let max_edges = n * (n - 1) / 2;
+    if m > max_edges {
+        return Err(GraphError::InvalidGeneratorParameter {
+            reason: format!("G(n, m) with n={n} supports at most {max_edges} edges, got {m}"),
+        });
+    }
+    let mut all_edges: Vec<(usize, usize)> = Vec::with_capacity(max_edges);
+    for i in 0..n {
+        for j in (i + 1)..n {
+            all_edges.push((i, j));
+        }
+    }
+    all_edges.shuffle(rng);
+    let mut g = Graph::with_capacity(n);
+    let nodes = g.add_nodes_with_default_ids(n);
+    for &(i, j) in all_edges.iter().take(m) {
+        g.add_edge(nodes[i], nodes[j])?;
+    }
+    Ok(g)
+}
+
+/// A uniformly random labelled tree on `n` nodes, generated from a random
+/// Prüfer sequence.
+///
+/// # Errors
+///
+/// Returns [`GraphError::InvalidGeneratorParameter`] when `n == 0`.
+pub fn random_tree<R: Rng + ?Sized>(n: usize, rng: &mut R) -> Result<Graph> {
+    if n == 0 {
+        return Err(GraphError::InvalidGeneratorParameter {
+            reason: "a random tree needs at least 1 node".to_string(),
+        });
+    }
+    let mut g = Graph::with_capacity(n);
+    let nodes = g.add_nodes_with_default_ids(n);
+    if n == 1 {
+        return Ok(g);
+    }
+    if n == 2 {
+        g.add_edge(nodes[0], nodes[1])?;
+        return Ok(g);
+    }
+    // Prüfer decoding.
+    let prufer: Vec<usize> = (0..n - 2).map(|_| rng.gen_range(0..n)).collect();
+    let mut degree = vec![1usize; n];
+    for &p in &prufer {
+        degree[p] += 1;
+    }
+    let mut edges = Vec::with_capacity(n - 1);
+    for &p in &prufer {
+        let leaf = (0..n).find(|&v| degree[v] == 1).expect("a leaf always exists");
+        edges.push((leaf, p));
+        degree[leaf] -= 1;
+        degree[p] -= 1;
+    }
+    let remaining: Vec<usize> = (0..n).filter(|&v| degree[v] == 1).collect();
+    assert_eq!(remaining.len(), 2, "Prüfer decoding ends with exactly two leaves");
+    edges.push((remaining[0], remaining[1]));
+    for (u, v) in edges {
+        g.add_edge(nodes[u], nodes[v])?;
+    }
+    Ok(g)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traversal;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn gnp_extremes() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let empty = erdos_renyi(10, 0.0, &mut rng).unwrap();
+        assert_eq!(empty.edge_count(), 0);
+        let full = erdos_renyi(10, 1.0, &mut rng).unwrap();
+        assert_eq!(full.edge_count(), 45);
+    }
+
+    #[test]
+    fn gnp_is_reproducible_from_seed() {
+        let a = erdos_renyi(20, 0.3, &mut StdRng::seed_from_u64(7)).unwrap();
+        let b = erdos_renyi(20, 0.3, &mut StdRng::seed_from_u64(7)).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn gnp_rejects_bad_parameters() {
+        let mut rng = StdRng::seed_from_u64(1);
+        assert!(erdos_renyi(0, 0.5, &mut rng).is_err());
+        assert!(erdos_renyi(5, -0.1, &mut rng).is_err());
+        assert!(erdos_renyi(5, 1.5, &mut rng).is_err());
+        assert!(erdos_renyi(5, f64::NAN, &mut rng).is_err());
+    }
+
+    #[test]
+    fn gnm_has_exact_edge_count() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let g = gnm_random(12, 20, &mut rng).unwrap();
+        assert_eq!(g.node_count(), 12);
+        assert_eq!(g.edge_count(), 20);
+    }
+
+    #[test]
+    fn gnm_rejects_too_many_edges() {
+        let mut rng = StdRng::seed_from_u64(3);
+        assert!(gnm_random(4, 7, &mut rng).is_err());
+        assert!(gnm_random(0, 0, &mut rng).is_err());
+    }
+
+    #[test]
+    fn random_tree_is_a_tree() {
+        let mut rng = StdRng::seed_from_u64(11);
+        for n in [1usize, 2, 3, 10, 50] {
+            let g = random_tree(n, &mut rng).unwrap();
+            assert_eq!(g.node_count(), n);
+            assert_eq!(g.edge_count(), n.saturating_sub(1));
+            assert!(traversal::is_connected(&g));
+        }
+    }
+
+    #[test]
+    fn random_tree_is_reproducible() {
+        let a = random_tree(30, &mut StdRng::seed_from_u64(5)).unwrap();
+        let b = random_tree(30, &mut StdRng::seed_from_u64(5)).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn random_tree_rejects_zero() {
+        let mut rng = StdRng::seed_from_u64(1);
+        assert!(random_tree(0, &mut rng).is_err());
+    }
+}

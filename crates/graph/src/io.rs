@@ -1,0 +1,188 @@
+//! Plain-text graph interchange: DOT export and an edge-list format.
+//!
+//! Experiments occasionally need to hand an instance (topology + identifier
+//! assignment) to external tooling, or to reload a previously saved worst-case
+//! instance. Two formats are supported:
+//!
+//! * **DOT** (Graphviz) export, for visualising small instances;
+//! * a line-oriented **edge-list** format that round-trips through
+//!   [`to_edge_list`] / [`from_edge_list`]: one `node <id>` line per node (in
+//!   node order, so identifier assignments are preserved) followed by one
+//!   `edge <id> <id>` line per undirected edge.
+
+use crate::error::{GraphError, Result};
+use crate::{Graph, GraphBuilder};
+
+/// Renders the graph in Graphviz DOT syntax (undirected, identifiers as
+/// labels).
+///
+/// # Examples
+///
+/// ```
+/// use avglocal_graph::{generators, io};
+///
+/// # fn main() -> Result<(), avglocal_graph::GraphError> {
+/// let g = generators::cycle(3)?;
+/// let dot = io::to_dot(&g, "triangle");
+/// assert!(dot.starts_with("graph triangle {"));
+/// assert!(dot.contains("v0 -- v1"));
+/// # Ok(())
+/// # }
+/// ```
+#[must_use]
+pub fn to_dot(graph: &Graph, name: &str) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("graph {name} {{\n"));
+    for v in graph.nodes() {
+        out.push_str(&format!("    v{} [label=\"{}\"];\n", v.index(), graph.identifier(v)));
+    }
+    for (u, v) in graph.edges() {
+        out.push_str(&format!("    v{} -- v{};\n", u.index(), v.index()));
+    }
+    out.push_str("}\n");
+    out
+}
+
+/// Serialises the graph in the edge-list format described in the module
+/// documentation.
+#[must_use]
+pub fn to_edge_list(graph: &Graph) -> String {
+    let mut out = String::new();
+    for v in graph.nodes() {
+        out.push_str(&format!("node {}\n", graph.identifier(v).value()));
+    }
+    for (u, v) in graph.edges() {
+        out.push_str(&format!(
+            "edge {} {}\n",
+            graph.identifier(u).value(),
+            graph.identifier(v).value()
+        ));
+    }
+    out
+}
+
+/// Parses a graph from the edge-list format produced by [`to_edge_list`].
+///
+/// Blank lines and lines starting with `#` are ignored.
+///
+/// # Errors
+///
+/// Returns [`GraphError::InvalidGeneratorParameter`] for malformed lines,
+/// unknown directives, or non-numeric identifiers, and propagates builder
+/// errors (duplicate identifiers, duplicate edges, self loops, edges naming
+/// unknown nodes).
+pub fn from_edge_list(text: &str) -> Result<Graph> {
+    let mut builder = GraphBuilder::new();
+    for (line_no, raw_line) in text.lines().enumerate() {
+        let line = raw_line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        let directive = parts.next().expect("non-empty line has a first token");
+        let parse = |token: Option<&str>| -> Result<u64> {
+            token
+                .ok_or_else(|| GraphError::InvalidGeneratorParameter {
+                    reason: format!("line {}: missing identifier", line_no + 1),
+                })?
+                .parse::<u64>()
+                .map_err(|_| GraphError::InvalidGeneratorParameter {
+                    reason: format!("line {}: identifier is not an integer", line_no + 1),
+                })
+        };
+        match directive {
+            "node" => {
+                let id = parse(parts.next())?;
+                builder = builder.node(id);
+            }
+            "edge" => {
+                let a = parse(parts.next())?;
+                let b = parse(parts.next())?;
+                builder = builder.edge(a, b);
+            }
+            other => {
+                return Err(GraphError::InvalidGeneratorParameter {
+                    reason: format!("line {}: unknown directive '{other}'", line_no + 1),
+                });
+            }
+        }
+        if parts.next().is_some() {
+            return Err(GraphError::InvalidGeneratorParameter {
+                reason: format!("line {}: trailing tokens", line_no + 1),
+            });
+        }
+    }
+    builder.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{generators, IdAssignment};
+
+    #[test]
+    fn dot_output_contains_nodes_and_edges() {
+        let g = generators::cycle(4).unwrap();
+        let dot = to_dot(&g, "ring");
+        assert!(dot.starts_with("graph ring {"));
+        assert!(dot.ends_with("}\n"));
+        assert_eq!(dot.matches(" -- ").count(), 4);
+        assert_eq!(dot.matches("label=").count(), 4);
+    }
+
+    #[test]
+    fn edge_list_round_trip_preserves_structure_and_identifiers() {
+        let mut g = generators::cycle(9).unwrap();
+        IdAssignment::Shuffled { seed: 5 }.apply(&mut g).unwrap();
+        let text = to_edge_list(&g);
+        let restored = from_edge_list(&text).unwrap();
+        assert_eq!(restored.node_count(), g.node_count());
+        assert_eq!(restored.edge_count(), g.edge_count());
+        // Identifier sequence in node order is preserved.
+        let original: Vec<u64> = g.identifiers().map(|i| i.value()).collect();
+        let roundtrip: Vec<u64> = restored.identifiers().map(|i| i.value()).collect();
+        assert_eq!(original, roundtrip);
+        // Adjacency is preserved (same edges between the same identifiers).
+        for (u, v) in g.edges() {
+            let a = restored.node_by_identifier(g.identifier(u)).unwrap();
+            let b = restored.node_by_identifier(g.identifier(v)).unwrap();
+            assert!(restored.contains_edge(a, b));
+        }
+    }
+
+    #[test]
+    fn round_trip_works_for_other_families() {
+        for g in [generators::petersen(), generators::grid(3, 3).unwrap()] {
+            let restored = from_edge_list(&to_edge_list(&g)).unwrap();
+            assert_eq!(restored.node_count(), g.node_count());
+            assert_eq!(restored.edge_count(), g.edge_count());
+        }
+    }
+
+    #[test]
+    fn parser_ignores_comments_and_blank_lines() {
+        let text = "# a comment\n\nnode 1\nnode 2\n\nedge 1 2\n";
+        let g = from_edge_list(text).unwrap();
+        assert_eq!(g.node_count(), 2);
+        assert_eq!(g.edge_count(), 1);
+    }
+
+    #[test]
+    fn parser_rejects_malformed_input() {
+        assert!(from_edge_list("frob 1").is_err());
+        assert!(from_edge_list("node").is_err());
+        assert!(from_edge_list("node abc").is_err());
+        assert!(from_edge_list("edge 1").is_err());
+        assert!(from_edge_list("node 1\nnode 1").is_err()); // duplicate identifier
+        assert!(from_edge_list("node 1\nedge 1 1").is_err()); // self loop
+        assert!(from_edge_list("node 1\nnode 2\nedge 1 3").is_err()); // unknown node
+        assert!(from_edge_list("node 1 2").is_err()); // trailing tokens
+    }
+
+    #[test]
+    fn empty_input_is_the_empty_graph() {
+        let g = from_edge_list("").unwrap();
+        assert!(g.is_empty());
+        assert_eq!(to_edge_list(&g), "");
+    }
+}

@@ -1,0 +1,304 @@
+//! Ball-view executor (the knowledge view of LOCAL).
+//!
+//! Every node independently grows the radius of the ball it sees until the
+//! algorithm commits to an output; the radius of the first decision is the
+//! node's cost `r(v)`. This is the view in which the paper states all of its
+//! results, and it is the executor used by the experiment harness because the
+//! radii it reports are exact by construction.
+
+use avglocal_graph::{extract_ball, Graph, NodeId};
+
+use crate::algorithm::BallAlgorithm;
+use crate::error::{Result, RuntimeError};
+use crate::knowledge::Knowledge;
+use crate::view::LocalView;
+
+/// The result of a ball-view execution: per-node outputs and radii.
+#[derive(Debug, Clone)]
+pub struct BallExecution<O> {
+    outputs: Vec<O>,
+    radii: Vec<usize>,
+}
+
+impl<O> BallExecution<O> {
+    /// Number of nodes.
+    #[must_use]
+    pub fn node_count(&self) -> usize {
+        self.outputs.len()
+    }
+
+    /// Output committed by `node`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    #[must_use]
+    pub fn output(&self, node: NodeId) -> &O {
+        &self.outputs[node.index()]
+    }
+
+    /// Radius at which `node` committed (the paper's `r(v)`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    #[must_use]
+    pub fn radius(&self, node: NodeId) -> usize {
+        self.radii[node.index()]
+    }
+
+    /// All outputs, in node order.
+    #[must_use]
+    pub fn outputs(&self) -> &[O] {
+        &self.outputs
+    }
+
+    /// All radii, in node order.
+    #[must_use]
+    pub fn radii(&self) -> &[usize] {
+        &self.radii
+    }
+
+    /// The classical (worst-case) running time: `max_v r(v)`.
+    #[must_use]
+    pub fn max_radius(&self) -> usize {
+        self.radii.iter().copied().max().unwrap_or(0)
+    }
+
+    /// The total cost `Σ_v r(v)` — the quantity the paper's recurrence
+    /// `a(p)` bounds.
+    #[must_use]
+    pub fn total_radius(&self) -> usize {
+        self.radii.iter().sum()
+    }
+
+    /// The paper's measure: the average radius `Σ_v r(v) / n`.
+    ///
+    /// Returns 0.0 for the empty execution.
+    #[must_use]
+    pub fn average_radius(&self) -> f64 {
+        if self.radii.is_empty() {
+            0.0
+        } else {
+            self.total_radius() as f64 / self.radii.len() as f64
+        }
+    }
+
+    /// Consumes the execution and returns `(outputs, radii)`.
+    #[must_use]
+    pub fn into_parts(self) -> (Vec<O>, Vec<usize>) {
+        (self.outputs, self.radii)
+    }
+}
+
+/// Executor for [`BallAlgorithm`]s.
+///
+/// # Examples
+///
+/// ```
+/// use avglocal_graph::{generators, IdAssignment};
+/// use avglocal_runtime::{BallExecutor, Knowledge};
+/// use avglocal_runtime::examples::NaiveLargestId;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut ring = generators::cycle(32)?;
+/// IdAssignment::Shuffled { seed: 7 }.apply(&mut ring)?;
+/// let run = BallExecutor::new().run(&ring, &NaiveLargestId, Knowledge::none())?;
+/// // Exactly one node answers `true` and the worst radius is n/2.
+/// assert_eq!(run.outputs().iter().filter(|&&b| b).count(), 1);
+/// assert_eq!(run.max_radius(), 16);
+/// assert!(run.average_radius() < 16.0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct BallExecutor {
+    max_radius: Option<usize>,
+}
+
+impl BallExecutor {
+    /// Creates an executor with the default radius limit (the node count,
+    /// which is always enough because views saturate at the component).
+    #[must_use]
+    pub fn new() -> Self {
+        BallExecutor { max_radius: None }
+    }
+
+    /// Creates an executor that refuses to grow balls beyond `max_radius`.
+    #[must_use]
+    pub fn with_max_radius(max_radius: usize) -> Self {
+        BallExecutor { max_radius: Some(max_radius) }
+    }
+
+    /// Runs `algorithm` on every node of `graph` and collects outputs and
+    /// radii.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RuntimeError::NonTerminating`] if a node still refuses to
+    /// decide on a saturated view (it has seen its whole component, so no
+    /// larger radius can help), and [`RuntimeError::RoundLimitExceeded`] if a
+    /// custom radius limit is hit first.
+    pub fn run<A: BallAlgorithm>(
+        &self,
+        graph: &Graph,
+        algorithm: &A,
+        knowledge: Knowledge,
+    ) -> Result<BallExecution<A::Output>> {
+        let mut outputs = Vec::with_capacity(graph.node_count());
+        let mut radii = Vec::with_capacity(graph.node_count());
+        for v in graph.nodes() {
+            let (out, r) = self.run_node(graph, v, algorithm, knowledge)?;
+            outputs.push(out);
+            radii.push(r);
+        }
+        Ok(BallExecution { outputs, radii })
+    }
+
+    /// Runs `algorithm` for a single node and returns `(output, radius)`.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`BallExecutor::run`].
+    pub fn run_node<A: BallAlgorithm>(
+        &self,
+        graph: &Graph,
+        node: NodeId,
+        algorithm: &A,
+        knowledge: Knowledge,
+    ) -> Result<(A::Output, usize)> {
+        let hard_limit = self.max_radius.unwrap_or(graph.node_count());
+        let mut radius = 0usize;
+        loop {
+            let ball = extract_ball(graph, node, radius);
+            let view = LocalView::from_ball(&ball);
+            let saturated = view.is_saturated();
+            if let Some(out) = algorithm.decide(&view, &knowledge) {
+                return Ok((out, radius));
+            }
+            if saturated {
+                return Err(RuntimeError::NonTerminating { node });
+            }
+            if radius >= hard_limit {
+                return Err(RuntimeError::RoundLimitExceeded { limit: hard_limit, undecided: 1 });
+            }
+            radius += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::examples::NaiveLargestId;
+    use avglocal_graph::{generators, IdAssignment, Identifier};
+
+    struct NeverDecides;
+    impl BallAlgorithm for NeverDecides {
+        type Output = ();
+        fn decide(&self, _view: &LocalView, _knowledge: &Knowledge) -> Option<()> {
+            None
+        }
+    }
+
+    struct DecideAtRadius(usize);
+    impl BallAlgorithm for DecideAtRadius {
+        type Output = usize;
+        fn decide(&self, view: &LocalView, _knowledge: &Knowledge) -> Option<usize> {
+            (view.radius() >= self.0).then_some(view.radius())
+        }
+    }
+
+    #[test]
+    fn largest_id_radii_on_identity_cycle() {
+        // With identifiers laid out in increasing order around the cycle,
+        // node i (for i < n-1) sees the larger identifier i+1 at radius 1,
+        // while node n-1 must see the whole cycle.
+        let g = generators::cycle(10).unwrap();
+        let run = BallExecutor::new().run(&g, &NaiveLargestId, Knowledge::none()).unwrap();
+        assert_eq!(run.node_count(), 10);
+        for i in 0..9 {
+            assert_eq!(run.radius(NodeId::new(i)), 1);
+            assert!(!run.output(NodeId::new(i)));
+        }
+        assert_eq!(run.radius(NodeId::new(9)), 5);
+        assert!(run.output(NodeId::new(9)));
+        assert_eq!(run.max_radius(), 5);
+        assert_eq!(run.total_radius(), 9 + 5);
+        assert!((run.average_radius() - 1.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn non_terminating_algorithm_is_detected() {
+        let g = generators::cycle(5).unwrap();
+        let err = BallExecutor::new().run(&g, &NeverDecides, Knowledge::none()).unwrap_err();
+        assert!(matches!(err, RuntimeError::NonTerminating { .. }));
+    }
+
+    #[test]
+    fn radius_limit_is_enforced() {
+        let g = generators::cycle(30).unwrap();
+        let err = BallExecutor::with_max_radius(3)
+            .run(&g, &DecideAtRadius(10), Knowledge::none())
+            .unwrap_err();
+        assert!(matches!(err, RuntimeError::RoundLimitExceeded { limit: 3, .. }));
+    }
+
+    #[test]
+    fn decide_at_radius_reports_that_radius() {
+        let g = generators::cycle(12).unwrap();
+        let run = BallExecutor::new().run(&g, &DecideAtRadius(4), Knowledge::none()).unwrap();
+        assert!(run.radii().iter().all(|&r| r == 4));
+        assert_eq!(run.max_radius(), 4);
+        assert_eq!(run.average_radius(), 4.0);
+    }
+
+    #[test]
+    fn run_node_matches_run() {
+        let mut g = generators::cycle(9).unwrap();
+        IdAssignment::Shuffled { seed: 2 }.apply(&mut g).unwrap();
+        let full = BallExecutor::new().run(&g, &NaiveLargestId, Knowledge::none()).unwrap();
+        for v in g.nodes() {
+            let (out, r) = BallExecutor::new()
+                .run_node(&g, v, &NaiveLargestId, Knowledge::none())
+                .unwrap();
+            assert_eq!(out, *full.output(v));
+            assert_eq!(r, full.radius(v));
+        }
+    }
+
+    #[test]
+    fn into_parts_round_trip() {
+        let mut g = generators::cycle(6).unwrap();
+        IdAssignment::Reversed.apply(&mut g).unwrap();
+        let run = BallExecutor::new().run(&g, &NaiveLargestId, Knowledge::none()).unwrap();
+        let (outputs, radii) = run.into_parts();
+        assert_eq!(outputs.len(), 6);
+        assert_eq!(radii.len(), 6);
+        assert_eq!(outputs.iter().filter(|&&b| b).count(), 1);
+        // Node 0 carries identifier 5 (the maximum) and needs radius 3.
+        assert!(outputs[0]);
+        assert_eq!(radii[0], 3);
+    }
+
+    #[test]
+    fn empty_execution_statistics() {
+        let exec: BallExecution<u8> = BallExecution { outputs: vec![], radii: vec![] };
+        assert_eq!(exec.average_radius(), 0.0);
+        assert_eq!(exec.max_radius(), 0);
+        assert_eq!(exec.total_radius(), 0);
+        assert_eq!(exec.node_count(), 0);
+    }
+
+    #[test]
+    fn clique_winner_needs_radius_one() {
+        let mut g = generators::complete(6).unwrap();
+        IdAssignment::Shuffled { seed: 4 }.apply(&mut g).unwrap();
+        let run = BallExecutor::new().run(&g, &NaiveLargestId, Knowledge::none()).unwrap();
+        let winner = g.max_identifier_node().unwrap();
+        assert!(*run.output(winner));
+        assert_eq!(run.radius(winner), 1);
+        assert_eq!(run.max_radius(), 1);
+        assert_eq!(g.identifier(winner), Identifier::new(5));
+    }
+}

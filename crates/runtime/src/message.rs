@@ -1,0 +1,56 @@
+//! Message envelopes exchanged between neighbouring nodes.
+
+/// A message together with the port it is sent through (outgoing) or was
+/// received on (incoming).
+///
+/// Ports are local edge indices in `0..deg(v)`; see
+/// [`avglocal_graph::PortNumbering`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Envelope<M> {
+    /// Port the message travels through, from the point of view of the node
+    /// holding the envelope.
+    pub port: usize,
+    /// The message payload.
+    pub payload: M,
+}
+
+impl<M> Envelope<M> {
+    /// Creates an envelope for `payload` on `port`.
+    pub fn new(port: usize, payload: M) -> Self {
+        Envelope { port, payload }
+    }
+}
+
+/// Builds one envelope per port carrying clones of the same payload — the
+/// common "broadcast to all neighbours" pattern.
+pub fn broadcast<M: Clone>(degree: usize, payload: &M) -> Vec<Envelope<M>> {
+    (0..degree).map(|port| Envelope::new(port, payload.clone())).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn envelope_construction() {
+        let e = Envelope::new(2, "hello");
+        assert_eq!(e.port, 2);
+        assert_eq!(e.payload, "hello");
+    }
+
+    #[test]
+    fn broadcast_covers_every_port() {
+        let out = broadcast(3, &7u32);
+        assert_eq!(out.len(), 3);
+        for (i, e) in out.iter().enumerate() {
+            assert_eq!(e.port, i);
+            assert_eq!(e.payload, 7);
+        }
+    }
+
+    #[test]
+    fn broadcast_on_isolated_node_is_empty() {
+        let out: Vec<Envelope<u8>> = broadcast(0, &1);
+        assert!(out.is_empty());
+    }
+}

@@ -1,0 +1,50 @@
+//! Shared helpers for the `avglocal` example binaries.
+//!
+//! The actual examples live in `src/bin/`:
+//!
+//! * `quickstart` — the paper's headline separation on one ring;
+//! * `dynamic_network` — the Section 1 dynamic-update motivation;
+//! * `parallel_scheduler` — the Section 1 parallel-simulation motivation;
+//! * `lower_bound_adversary` — the Section 3 construction in action;
+//! * `coloring_pipeline` — Cole–Vishkin, landmark and baseline colourings
+//!   side by side.
+
+use avglocal::prelude::*;
+
+/// Prints a one-line summary of a radius profile: `label: avg=…, max=…`.
+pub fn print_profile(label: &str, profile: &RadiusProfile) {
+    let pair = MeasurePair::of(profile);
+    println!(
+        "{label:<28} average radius = {:>8.3}   worst-case radius = {:>6}   (separation {:.1}x)",
+        pair.average,
+        profile.max(),
+        pair.separation()
+    );
+}
+
+/// The ring sizes used by the examples: powers of two in `[16, max]`.
+#[must_use]
+pub fn example_sizes(max: usize) -> Vec<usize> {
+    (4..)
+        .map(|k| 1usize << k)
+        .take_while(|&n| n <= max)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sizes_are_powers_of_two() {
+        let sizes = example_sizes(256);
+        assert_eq!(sizes, vec![16, 32, 64, 128, 256]);
+        assert!(example_sizes(8).is_empty());
+    }
+
+    #[test]
+    fn print_profile_does_not_panic() {
+        let profile = RadiusProfile::new(vec![1, 2, 3]);
+        print_profile("demo", &profile);
+    }
+}

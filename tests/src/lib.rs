@@ -1,0 +1,44 @@
+//! Integration-test package for the `avglocal` workspace.
+//!
+//! The actual tests live in `tests/` and exercise complete pipelines across
+//! crates: graph generation → identifier assignment → LOCAL execution →
+//! verification → measurement → theory comparison. This library target only
+//! hosts small shared helpers.
+
+use avglocal::prelude::*;
+
+/// Builds the standard test instance: an `n`-cycle with identifiers shuffled
+/// by `seed`.
+///
+/// # Panics
+///
+/// Panics if `n < 3` (the helper is for tests, which always use valid sizes).
+#[must_use]
+pub fn shuffled_ring(n: usize, seed: u64) -> Graph {
+    cycle_with_assignment(n, &IdAssignment::Shuffled { seed })
+        .expect("test rings always have at least 3 nodes")
+}
+
+/// The ring sizes used by the cross-crate tests: a mix of tiny, odd, even and
+/// moderately large instances.
+#[must_use]
+pub fn test_sizes() -> Vec<usize> {
+    vec![3, 4, 5, 8, 13, 16, 33, 64, 127]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shuffled_ring_has_unique_identifiers() {
+        let g = shuffled_ring(17, 4);
+        assert_eq!(g.node_count(), 17);
+        assert!(g.has_unique_identifiers());
+    }
+
+    #[test]
+    fn test_sizes_are_valid_cycle_sizes() {
+        assert!(test_sizes().iter().all(|&n| n >= 3));
+    }
+}

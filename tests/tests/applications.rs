@@ -1,0 +1,73 @@
+//! E6 end-to-end: the Section 1 motivating applications are governed by the
+//! average measure, not the worst case.
+
+use avglocal::prelude::*;
+use avglocal_integration_tests::shuffled_ring;
+
+#[test]
+fn parallel_replay_finishes_earlier_for_average_efficient_algorithms() {
+    let n = 128;
+    let workers = 8;
+    let g = shuffled_ring(n, 44);
+
+    let smart = Problem::LargestId.run(&g).unwrap();
+    let lazy = Problem::FullInfoLargestId.run(&g).unwrap();
+    assert_eq!(smart.max(), lazy.max(), "same worst case");
+
+    let smart_schedule = schedule_radii(&smart, workers);
+    let lazy_schedule = schedule_radii(&lazy, workers);
+    assert!(
+        smart_schedule.makespan * 3 < lazy_schedule.makespan,
+        "smart {} vs lazy {}",
+        smart_schedule.makespan,
+        lazy_schedule.makespan
+    );
+    // The lazy baseline's makespan is essentially n/2 * n / workers.
+    assert_eq!(lazy_schedule.total_work, n / 2 * n);
+}
+
+#[test]
+fn makespan_is_never_below_the_lower_bound_and_within_twice_of_it() {
+    let g = shuffled_ring(200, 3);
+    for problem in [Problem::LargestId, Problem::ThreeColoring, Problem::LandmarkColoring] {
+        let profile = problem.run(&g).unwrap();
+        for workers in [1usize, 2, 5, 16, 64] {
+            let outcome = schedule_radii(&profile, workers);
+            assert!(outcome.makespan >= outcome.lower_bound);
+            assert!(outcome.approximation_ratio() < 2.0);
+        }
+    }
+}
+
+#[test]
+fn dynamic_update_cost_tracks_the_average_radius() {
+    let n = 256;
+    let g = shuffled_ring(n, 12);
+
+    let coloring = Problem::ThreeColoring.run(&g).unwrap();
+    let leader = Problem::KnowTheLeader.run(&g).unwrap();
+
+    let coloring_cost = expected_invalidated_nodes(&coloring);
+    let leader_cost = expected_invalidated_nodes(&leader);
+
+    // Re-colouring after a change touches a constant-size neighbourhood;
+    // re-learning the leader touches everyone.
+    assert!(coloring_cost <= 2.0 * theory::cole_vishkin_upper_bound(64) as f64 + 1.0);
+    assert_eq!(leader_cost, n as f64);
+    assert!(leader_cost / coloring_cost > 10.0);
+}
+
+#[test]
+fn update_cost_is_bounded_by_ball_sizes() {
+    let g = shuffled_ring(64, 5);
+    for problem in Problem::ALL {
+        let profile = problem.run(&g).unwrap();
+        let cost = expected_invalidated_nodes(&profile);
+        assert!(cost >= 1.0, "{problem}: at least the changed node itself");
+        assert!(cost <= 64.0, "{problem}: never more than the whole ring");
+        assert!(
+            cost <= 2.0 * profile.average() + 1.0 + 1e-9,
+            "{problem}: cost {cost} exceeds 2·avg+1"
+        );
+    }
+}
