@@ -1,0 +1,8 @@
+#!/usr/bin/env sh
+# Perf trajectory for the radius engine: runs the E1 wall-time benchmark
+# (incremental vs from-scratch baseline) and refreshes BENCH_e1.json.
+#
+# Usage: ./bench.sh [--quick]
+set -eu
+cd "$(dirname "$0")"
+cargo run --release -p avglocal-bench --bin bench_e1 -- "$@"

@@ -1,0 +1,246 @@
+//! In-tree stand-in for the subset of the
+//! [`criterion`](https://crates.io/crates/criterion) crate this workspace
+//! uses.
+//!
+//! The build environment has no access to a crate registry, so the workspace
+//! vendors a small wall-clock harness with the same source-level API as the
+//! benches need: [`Criterion::benchmark_group`], `sample_size`,
+//! `bench_with_input` / `bench_function`, [`BenchmarkId`], and the
+//! [`criterion_group!`] / [`criterion_main!`] macros.
+//!
+//! There is no statistical analysis: each benchmark runs one warm-up
+//! iteration followed by `sample_size` timed iterations and prints the mean
+//! and minimum per-iteration wall time.
+
+#![forbid(unsafe_code)]
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Identifier of one benchmark inside a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// An id labelled by a function name and a parameter.
+    #[must_use]
+    pub fn new(function: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        BenchmarkId { label: format!("{}/{}", function.into(), parameter) }
+    }
+
+    /// An id labelled by a parameter only.
+    #[must_use]
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId { label: parameter.to_string() }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.label)
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(label: &str) -> Self {
+        BenchmarkId { label: label.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(label: String) -> Self {
+        BenchmarkId { label }
+    }
+}
+
+/// Times closures under [`Bencher::iter`].
+#[derive(Debug)]
+pub struct Bencher {
+    samples: usize,
+    total: Duration,
+    minimum: Duration,
+    iterations: u64,
+}
+
+impl Bencher {
+    fn new(samples: usize) -> Self {
+        Bencher { samples, total: Duration::ZERO, minimum: Duration::MAX, iterations: 0 }
+    }
+
+    /// Runs `routine` once to warm up, then `sample_size` timed times.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        black_box(routine());
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            black_box(routine());
+            let elapsed = start.elapsed();
+            self.total += elapsed;
+            self.minimum = self.minimum.min(elapsed);
+            self.iterations += 1;
+        }
+    }
+}
+
+/// One named group of benchmarks.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed iterations per benchmark.
+    pub fn sample_size(&mut self, samples: usize) -> &mut Self {
+        self.sample_size = samples.max(1);
+        self
+    }
+
+    /// Benchmarks `routine`, passing it `input`.
+    pub fn bench_with_input<I, R>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut routine: R,
+    ) -> &mut Self
+    where
+        R: FnMut(&mut Bencher, &I),
+    {
+        let mut bencher = Bencher::new(self.sample_size);
+        routine(&mut bencher, input);
+        self.report(&id.label, &bencher);
+        self
+    }
+
+    /// Benchmarks `routine` with no input.
+    pub fn bench_function<I, R>(&mut self, id: I, mut routine: R) -> &mut Self
+    where
+        I: Into<BenchmarkId>,
+        R: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher::new(self.sample_size);
+        routine(&mut bencher);
+        self.report(&id.into().label, &bencher);
+        self
+    }
+
+    fn report(&mut self, label: &str, bencher: &Bencher) {
+        let line = if bencher.iterations == 0 {
+            format!("{}/{label}: no iterations recorded", self.name)
+        } else {
+            let mean = bencher.total / u32::try_from(bencher.iterations).unwrap_or(u32::MAX);
+            format!(
+                "{}/{label}: mean {} / min {} over {} iterations",
+                self.name,
+                format_duration(mean),
+                format_duration(bencher.minimum),
+                bencher.iterations
+            )
+        };
+        println!("{line}");
+        self.criterion.lines.push(line);
+    }
+
+    /// Ends the group (upstream flushes reports here; the shim prints live).
+    pub fn finish(&mut self) {}
+}
+
+/// Entry point mirroring `criterion::Criterion`.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    lines: Vec<String>,
+}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { criterion: self, name: name.into(), sample_size: 10 }
+    }
+
+    /// Benchmarks `routine` outside of any group.
+    pub fn bench_function<R: FnMut(&mut Bencher)>(&mut self, name: &str, mut routine: R) {
+        let mut bencher = Bencher::new(10);
+        routine(&mut bencher);
+        let mut group = self.benchmark_group("bench");
+        group.report(name, &bencher);
+    }
+
+    /// All report lines produced so far (used by the shim's tests).
+    #[must_use]
+    pub fn report_lines(&self) -> &[String] {
+        &self.lines
+    }
+}
+
+fn format_duration(d: Duration) -> String {
+    let nanos = d.as_nanos();
+    if nanos >= 1_000_000_000 {
+        format!("{:.3} s", d.as_secs_f64())
+    } else if nanos >= 1_000_000 {
+        format!("{:.3} ms", d.as_secs_f64() * 1e3)
+    } else if nanos >= 1_000 {
+        format!("{:.3} us", d.as_secs_f64() * 1e6)
+    } else {
+        format!("{nanos} ns")
+    }
+}
+
+/// Declares a benchmark group function running the listed targets.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`, running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_reports_mean_and_min() {
+        let mut c = Criterion::default();
+        {
+            let mut group = c.benchmark_group("demo");
+            group.sample_size(3);
+            group.bench_with_input(BenchmarkId::from_parameter(42), &42u64, |b, &n| {
+                b.iter(|| (0..n).sum::<u64>())
+            });
+            group.finish();
+        }
+        assert_eq!(c.report_lines().len(), 1);
+        assert!(c.report_lines()[0].starts_with("demo/42:"));
+        assert!(c.report_lines()[0].contains("3 iterations"));
+    }
+
+    #[test]
+    fn benchmark_id_labels() {
+        assert_eq!(BenchmarkId::from_parameter(7).to_string(), "7");
+        assert_eq!(BenchmarkId::new("f", 7).to_string(), "f/7");
+    }
+
+    #[test]
+    fn durations_format_with_units() {
+        assert!(format_duration(Duration::from_nanos(5)).ends_with("ns"));
+        assert!(format_duration(Duration::from_micros(5)).ends_with("us"));
+        assert!(format_duration(Duration::from_millis(5)).ends_with("ms"));
+        assert!(format_duration(Duration::from_secs(5)).ends_with(" s"));
+    }
+}

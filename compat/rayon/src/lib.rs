@@ -1,0 +1,296 @@
+//! In-tree stand-in for the subset of the
+//! [`rayon`](https://crates.io/crates/rayon) crate this workspace uses.
+//!
+//! The build environment has no access to a crate registry, so the workspace
+//! vendors the data-parallel surface its executors need:
+//! `into_par_iter().map(..).collect()` over ranges and vectors, plus
+//! [`join`]. Work is executed on `std::thread::scope` threads over contiguous
+//! chunks, so results are always in input order — parallelism never changes
+//! an answer.
+//!
+//! A global thread-budget (initialised to the machine's available
+//! parallelism) bounds the total number of live worker threads even under
+//! nested parallel calls: a call that cannot reserve extra threads simply
+//! runs inline on the caller's thread.
+
+#![forbid(unsafe_code)]
+
+use std::ops::Range;
+use std::sync::atomic::{AtomicIsize, Ordering};
+use std::sync::OnceLock;
+
+/// The traits to import to use parallel iterators.
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, ParallelIterator};
+}
+
+fn budget() -> &'static AtomicIsize {
+    static BUDGET: OnceLock<AtomicIsize> = OnceLock::new();
+    BUDGET.get_or_init(|| {
+        let threads = std::thread::available_parallelism().map_or(1, usize::from);
+        // The caller's thread always works too, so the budget only counts
+        // *extra* workers.
+        AtomicIsize::new(threads as isize - 1)
+    })
+}
+
+/// Reserves up to `wanted` extra worker threads from the global budget.
+fn reserve_workers(wanted: usize) -> usize {
+    let budget = budget();
+    let mut granted = 0usize;
+    while granted < wanted {
+        let available = budget.load(Ordering::Relaxed);
+        if available <= 0 {
+            break;
+        }
+        let take = (available as usize).min(wanted - granted) as isize;
+        if budget
+            .compare_exchange(available, available - take, Ordering::Relaxed, Ordering::Relaxed)
+            .is_ok()
+        {
+            granted += take as usize;
+        }
+    }
+    granted
+}
+
+fn release_workers(count: usize) {
+    budget().fetch_add(count as isize, Ordering::Relaxed);
+}
+
+/// Returns the reserved workers to the budget on drop, so a panicking worker
+/// closure cannot leak the reservation (which would silently degrade every
+/// later parallel call in the process to sequential execution).
+struct Reservation(usize);
+
+impl Drop for Reservation {
+    fn drop(&mut self) {
+        release_workers(self.0);
+    }
+}
+
+/// The number of threads the pool would use for a fresh, un-nested parallel
+/// call (the machine's available parallelism).
+#[must_use]
+pub fn current_num_threads() -> usize {
+    std::thread::available_parallelism().map_or(1, usize::from)
+}
+
+/// Runs the two closures, in parallel when a worker thread is available, and
+/// returns both results.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    if reserve_workers(1) == 0 {
+        return (a(), b());
+    }
+    let _reservation = Reservation(1);
+    std::thread::scope(|scope| {
+        let handle = scope.spawn(b);
+        let ra = a();
+        (ra, handle.join().expect("rayon-shim join worker panicked"))
+    })
+}
+
+/// Applies `f` to every item on a bounded set of scoped threads, preserving
+/// input order in the output.
+fn parallel_apply<T, R, F>(items: Vec<T>, f: &F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let len = items.len();
+    if len <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let extra = reserve_workers(len.saturating_sub(1).min(current_num_threads()));
+    if extra == 0 {
+        return items.into_iter().map(f).collect();
+    }
+    let _reservation = Reservation(extra);
+    let chunks = extra + 1;
+    let chunk_len = len.div_ceil(chunks);
+    let mut batches: Vec<Vec<T>> = Vec::with_capacity(chunks);
+    let mut items = items.into_iter();
+    for _ in 0..chunks {
+        batches.push(items.by_ref().take(chunk_len).collect());
+    }
+    let mut results: Vec<Vec<R>> = std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(chunks);
+        for batch in batches {
+            handles.push(scope.spawn(move || batch.into_iter().map(f).collect::<Vec<R>>()));
+        }
+        handles.into_iter().map(|h| h.join().expect("rayon-shim map worker panicked")).collect()
+    });
+    let mut out = Vec::with_capacity(len);
+    for batch in &mut results {
+        out.append(batch);
+    }
+    out
+}
+
+/// Conversion into a parallel iterator.
+pub trait IntoParallelIterator {
+    /// The type of the items.
+    type Item: Send;
+    /// The resulting parallel iterator.
+    type Iter: ParallelIterator<Item = Self::Item>;
+    /// Converts `self` into a parallel iterator.
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+/// A parallel iterator: a pipeline that can be executed across threads.
+pub trait ParallelIterator: Sized {
+    /// The type of the items.
+    type Item: Send;
+
+    /// Executes the pipeline and returns the items in input order.
+    fn drive(self) -> Vec<Self::Item>;
+
+    /// Maps every item through `f` (applied in parallel when driven).
+    fn map<R, F>(self, f: F) -> Map<Self, F>
+    where
+        R: Send,
+        F: Fn(Self::Item) -> R + Sync,
+    {
+        Map { base: self, f }
+    }
+
+    /// Executes the pipeline and collects the items.
+    fn collect<C: FromIterator<Self::Item>>(self) -> C {
+        self.drive().into_iter().collect()
+    }
+
+    /// Executes the pipeline for its effects.
+    fn for_each<F>(self, f: F)
+    where
+        F: Fn(Self::Item) + Sync,
+        Self::Item: Send,
+    {
+        let _: Vec<()> = Map { base: self, f: |item| f(item) }.drive();
+    }
+}
+
+/// Parallel iterator over an already-materialised list of items.
+#[derive(Debug)]
+pub struct VecIter<T> {
+    items: Vec<T>,
+}
+
+impl<T: Send> ParallelIterator for VecIter<T> {
+    type Item = T;
+    fn drive(self) -> Vec<T> {
+        self.items
+    }
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    type Iter = VecIter<T>;
+    fn into_par_iter(self) -> VecIter<T> {
+        VecIter { items: self }
+    }
+}
+
+impl IntoParallelIterator for Range<usize> {
+    type Item = usize;
+    type Iter = VecIter<usize>;
+    fn into_par_iter(self) -> VecIter<usize> {
+        VecIter { items: self.collect() }
+    }
+}
+
+/// A mapping stage of a parallel pipeline.
+#[derive(Debug)]
+pub struct Map<I, F> {
+    base: I,
+    f: F,
+}
+
+impl<I, R, F> ParallelIterator for Map<I, F>
+where
+    I: ParallelIterator,
+    R: Send,
+    F: Fn(I::Item) -> R + Sync,
+{
+    type Item = R;
+    fn drive(self) -> Vec<R> {
+        parallel_apply(self.base.drive(), &self.f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let squares: Vec<usize> = (0..1000).into_par_iter().map(|i| i * i).collect();
+        assert_eq!(squares.len(), 1000);
+        assert!(squares.iter().enumerate().all(|(i, &s)| s == i * i));
+    }
+
+    #[test]
+    fn vec_source_and_chained_maps() {
+        let v: Vec<i64> = vec![3, 1, 2];
+        let out: Vec<i64> = v.into_par_iter().map(|x| x * 10).map(|x| x + 1).collect();
+        assert_eq!(out, vec![31, 11, 21]);
+    }
+
+    #[test]
+    fn nested_calls_do_not_deadlock() {
+        let totals: Vec<usize> = (0..8)
+            .into_par_iter()
+            .map(|i| (0..100).into_par_iter().map(move |j| i + j).collect::<Vec<_>>().len())
+            .collect();
+        assert!(totals.iter().all(|&t| t == 100));
+    }
+
+    #[test]
+    fn join_returns_both_results() {
+        let (a, b) = super::join(|| 1 + 1, || "two");
+        assert_eq!(a, 2);
+        assert_eq!(b, "two");
+    }
+
+    #[test]
+    fn panicking_worker_does_not_leak_the_budget() {
+        use std::sync::atomic::Ordering;
+        // A panic inside a parallel map must return the reserved workers to
+        // the global budget (otherwise all later calls silently go inline).
+        let before = super::budget().load(Ordering::Relaxed);
+        let attempt = std::panic::catch_unwind(|| {
+            let _: Vec<usize> = (0..64)
+                .into_par_iter()
+                .map(|i| if i == 33 { panic!("worker boom") } else { i })
+                .collect();
+        });
+        assert!(attempt.is_err(), "the panic must propagate to the caller");
+        // Other tests may hold transient reservations; only a *permanent*
+        // shortfall (the leak) keeps the budget below `before` for long.
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+        while super::budget().load(Ordering::Relaxed) < before {
+            assert!(
+                std::time::Instant::now() < deadline,
+                "reservation leaked after a worker panic"
+            );
+            std::thread::yield_now();
+        }
+        // And the pool still works afterwards.
+        let v: Vec<usize> = (0..100).into_par_iter().map(|i| i + 1).collect();
+        assert_eq!(v[99], 100);
+    }
+
+    #[test]
+    fn empty_and_single_inputs() {
+        let empty: Vec<usize> = Vec::<usize>::new().into_par_iter().map(|x| x).collect();
+        assert!(empty.is_empty());
+        let one: Vec<usize> = vec![5].into_par_iter().map(|x| x * 2).collect();
+        assert_eq!(one, vec![10]);
+    }
+}

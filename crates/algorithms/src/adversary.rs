@@ -29,7 +29,8 @@ pub type RadiusOracle<'a> = dyn Fn(&[u64]) -> Vec<usize> + 'a;
 /// that refuse to terminate on a saturated view).
 pub fn ball_radius_oracle<A>(algorithm: A) -> impl Fn(&[u64]) -> Vec<usize>
 where
-    A: BallAlgorithm,
+    A: BallAlgorithm + Sync,
+    A::Output: Send,
 {
     move |arrangement: &[u64]| {
         let graph = cycle_with_arrangement(arrangement);
@@ -52,9 +53,7 @@ where
 pub fn cycle_with_arrangement(arrangement: &[u64]) -> Graph {
     let mut graph = generators::cycle(arrangement.len()).expect("cycles need at least 3 nodes");
     let ids: Vec<Identifier> = arrangement.iter().map(|&x| Identifier::new(x)).collect();
-    graph
-        .set_all_identifiers(&ids)
-        .expect("arrangement must consist of distinct identifiers");
+    graph.set_all_identifiers(&ids).expect("arrangement must consist of distinct identifiers");
     graph
 }
 
@@ -145,7 +144,7 @@ impl SliceConstruction {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::{LargestId, LandmarkColoring};
+    use crate::{LandmarkColoring, LargestId};
 
     #[test]
     fn cycle_with_arrangement_places_identifiers() {

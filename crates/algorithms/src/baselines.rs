@@ -63,11 +63,7 @@ pub fn greedy_coloring(graph: &Graph) -> Vec<u64> {
     order.sort_by_key(|&v| graph.identifier(v));
     let mut colors: Vec<Option<u64>> = vec![None; graph.node_count()];
     for v in order {
-        let used: Vec<u64> = graph
-            .neighbors(v)
-            .iter()
-            .filter_map(|&u| colors[u.index()])
-            .collect();
+        let used: Vec<u64> = graph.neighbors(v).iter().filter_map(|&u| colors[u.index()]).collect();
         let color = (0..).find(|c| !used.contains(c)).expect("an unused colour always exists");
         colors[v.index()] = Some(color);
     }
@@ -97,7 +93,8 @@ pub fn greedy_mis(graph: &Graph) -> Vec<bool> {
 pub fn greedy_maximal_matching(graph: &Graph) -> Vec<Option<usize>> {
     let mut matched: Vec<Option<usize>> = vec![None; graph.node_count()];
     let mut edges: Vec<(NodeId, NodeId)> = graph.edges().collect();
-    edges.sort_by_key(|&(u, v)| (graph.identifier(u).min(graph.identifier(v)), graph.identifier(u)));
+    edges
+        .sort_by_key(|&(u, v)| (graph.identifier(u).min(graph.identifier(v)), graph.identifier(u)));
     for (u, v) in edges {
         if matched[u.index()].is_none() && matched[v.index()].is_none() {
             matched[u.index()] = Some(v.index());

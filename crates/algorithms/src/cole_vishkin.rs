@@ -89,9 +89,7 @@ impl RingOrientation {
     /// The predecessor of the node carrying `id`, if `id` belongs to the ring.
     #[must_use]
     pub fn predecessor(&self, id: Identifier) -> Option<Identifier> {
-        self.successor
-            .iter()
-            .find_map(|(&from, &to)| (to == id).then_some(from))
+        self.successor.iter().find_map(|(&from, &to)| (to == id).then_some(from))
     }
 
     /// Number of nodes covered by the orientation.
@@ -240,8 +238,8 @@ mod tests {
     #[test]
     fn cv_step_examples() {
         // own = 0b0110, succ = 0b0100: lowest differing bit is 1, own bit is 1.
-        assert_eq!(cv_step(0b0110, 0b0100), 2 * 1 + 1);
-        // own = 0b1000, succ = 0b1001: lowest differing bit is 0, own bit is 0.
+        assert_eq!(cv_step(0b0110, 0b0100), 3); // 2 * index 1 + bit 1
+                                                // own = 0b1000, succ = 0b1001: lowest differing bit is 0, own bit is 0.
         assert_eq!(cv_step(0b1000, 0b1001), 0);
         // Equal colours yield the sentinel.
         assert_eq!(cv_step(7, 7), 128);

@@ -80,9 +80,7 @@ pub fn verify_largest_id(graph: &Graph, outputs: &[bool]) -> bool {
     let Some(winner) = graph.max_identifier_node() else {
         return outputs.is_empty();
     };
-    graph
-        .nodes()
-        .all(|v| outputs[v.index()] == (v == winner))
+    graph.nodes().all(|v| outputs[v.index()] == (v == winner))
 }
 
 /// The exact radius the paper predicts for each node of a **cycle**, given
@@ -97,10 +95,7 @@ pub fn verify_largest_id(graph: &Graph, outputs: &[bool]) -> bool {
 #[must_use]
 pub fn predicted_cycle_radii(graph: &Graph) -> Vec<usize> {
     let n = graph.node_count();
-    assert!(
-        graph.nodes().all(|v| graph.degree(v) == 2),
-        "predicted_cycle_radii expects a cycle"
-    );
+    assert!(graph.nodes().all(|v| graph.degree(v) == 2), "predicted_cycle_radii expects a cycle");
     let winner = graph.max_identifier_node().expect("cycle is non-empty");
     graph
         .nodes()

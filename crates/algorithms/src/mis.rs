@@ -128,13 +128,14 @@ impl RoundAlgorithm for MisRing {
 ///
 /// Returns an error when the graph is not a single cycle or the execution
 /// fails.
-pub fn run_mis(
-    graph: &avglocal_graph::Graph,
-) -> Result<Vec<bool>, avglocal_runtime::RuntimeError> {
+pub fn run_mis(graph: &avglocal_graph::Graph) -> Result<Vec<bool>, avglocal_runtime::RuntimeError> {
     let orientation = RingOrientation::trace(graph)?;
     let algo = MisRing::new(orientation);
-    let run = avglocal_runtime::SyncExecutor::new()
-        .run(graph, &algo, avglocal_runtime::Knowledge::none())?;
+    let run = avglocal_runtime::SyncExecutor::new().run(
+        graph,
+        &algo,
+        avglocal_runtime::Knowledge::none(),
+    )?;
     Ok(run.outputs())
 }
 
@@ -179,13 +180,12 @@ mod tests {
     fn decision_rounds_depend_on_color_class() {
         let g = ring(24, 4);
         let orientation = RingOrientation::trace(&g).unwrap();
-        let run = SyncExecutor::new()
-            .run(&g, &MisRing::new(orientation), Knowledge::none())
-            .unwrap();
+        let run =
+            SyncExecutor::new().run(&g, &MisRing::new(orientation), Knowledge::none()).unwrap();
         let rounds = run.decision_rounds();
         // Colouring takes 7 rounds; classes decide at rounds 8, 9, 10.
         assert!(rounds.iter().all(|&r| (8..=10).contains(&r)), "{rounds:?}");
-        assert!(rounds.iter().any(|&r| r == 8));
+        assert!(rounds.contains(&8));
         assert!(verify::is_maximal_independent_set(&g, &run.outputs()));
     }
 

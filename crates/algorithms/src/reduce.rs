@@ -23,7 +23,12 @@ pub fn free_color(neighbor_colors: &[u64], palette_size: u64) -> Option<u64> {
 /// colouring must be proper; the output colouring is proper again and no node
 /// keeps the colour `class` (provided `palette_size` exceeds every degree).
 #[must_use]
-pub fn reduce_class(colors: &[u64], adjacency: &[Vec<usize>], class: u64, palette_size: u64) -> Vec<u64> {
+pub fn reduce_class(
+    colors: &[u64],
+    adjacency: &[Vec<usize>],
+    class: u64,
+    palette_size: u64,
+) -> Vec<u64> {
     let mut next = colors.to_vec();
     for (i, &c) in colors.iter().enumerate() {
         if c == class {
@@ -61,10 +66,7 @@ pub fn is_proper_coloring(colors: &[u64], adjacency: &[Vec<usize>], palette_size
     if colors.iter().any(|&c| c >= palette_size) {
         return false;
     }
-    adjacency
-        .iter()
-        .enumerate()
-        .all(|(i, nbrs)| nbrs.iter().all(|&j| colors[i] != colors[j]))
+    adjacency.iter().enumerate().all(|(i, nbrs)| nbrs.iter().all(|&j| colors[i] != colors[j]))
 }
 
 #[cfg(test)]

@@ -187,10 +187,8 @@ impl LandmarkColoring {
         // landmarks; the search is also bounded by the view, so a landmark
         // only counts when every closer node is certified non-landmark.
         let bfs = avglocal_graph::traversal::bfs(g, node);
-        let mut candidates: Vec<(usize, NodeId)> = g
-            .nodes()
-            .filter_map(|v| bfs.distance(v).map(|d| (d, v)))
-            .collect();
+        let mut candidates: Vec<(usize, NodeId)> =
+            g.nodes().filter_map(|v| bfs.distance(v).map(|d| (d, v))).collect();
         candidates.sort_unstable();
         for (d, v) in candidates {
             if g.degree(v) != 2 {

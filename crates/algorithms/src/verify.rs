@@ -15,9 +15,7 @@ pub fn is_proper_coloring(graph: &Graph, colors: &[u64], palette_size: u64) -> b
     if colors.iter().any(|&c| c >= palette_size) {
         return false;
     }
-    graph
-        .edges()
-        .all(|(u, v)| colors[u.index()] != colors[v.index()])
+    graph.edges().all(|(u, v)| colors[u.index()] != colors[v.index()])
 }
 
 /// Checks that `in_set` (indexed by node) describes a maximal independent
@@ -33,9 +31,9 @@ pub fn is_maximal_independent_set(graph: &Graph, in_set: &[bool]) -> bool {
         return false;
     }
     // Maximality: every node outside the set has a neighbour inside.
-    graph.nodes().all(|v| {
-        in_set[v.index()] || graph.neighbors(v).iter().any(|&u| in_set[u.index()])
-    })
+    graph
+        .nodes()
+        .all(|v| in_set[v.index()] || graph.neighbors(v).iter().any(|&u| in_set[u.index()]))
 }
 
 /// Checks that exactly the node with the maximum identifier answered `true`.
@@ -67,9 +65,7 @@ pub fn is_maximal_matching(graph: &Graph, matched: &[Option<usize>]) -> bool {
         }
     }
     // Maximality: no edge with both endpoints unmatched.
-    graph
-        .edges()
-        .all(|(u, v)| matched[u.index()].is_some() || matched[v.index()].is_some())
+    graph.edges().all(|(u, v)| matched[u.index()].is_some() || matched[v.index()].is_some())
 }
 
 /// Number of distinct colours used by a colouring.

@@ -133,10 +133,7 @@ pub fn rank_models(xs: &[f64], ys: &[f64]) -> Vec<Fit> {
 /// The single best-fitting model for the data.
 #[must_use]
 pub fn best_model(xs: &[f64], ys: &[f64]) -> GrowthModel {
-    rank_models(xs, ys)
-        .first()
-        .map(|f| f.model)
-        .unwrap_or(GrowthModel::Constant)
+    rank_models(xs, ys).first().map(|f| f.model).unwrap_or(GrowthModel::Constant)
 }
 
 /// Ordinary least squares for the two-parameter line `y ≈ a + b·x`.

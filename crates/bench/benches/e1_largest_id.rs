@@ -51,10 +51,5 @@ fn bench_full_info_baseline(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(
-    e1,
-    bench_largest_id_random,
-    bench_largest_id_identity,
-    bench_full_info_baseline
-);
+criterion_group!(e1, bench_largest_id_random, bench_largest_id_identity, bench_full_info_baseline);
 criterion_main!(e1);

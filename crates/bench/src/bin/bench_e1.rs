@@ -1,0 +1,102 @@
+//! E1 perf trajectory: wall time of the largest-ID radius sweep on the
+//! adversarial identity assignment, incremental engine vs the from-scratch
+//! baseline.
+//!
+//! Writes `BENCH_e1.json` (next to the current working directory) so the
+//! repository keeps a perf trajectory across PRs, and exits non-zero if the
+//! two engines disagree on any radius or output.
+//!
+//! ```text
+//! cargo run --release -p avglocal-bench --bin bench_e1              # full sizes
+//! cargo run --release -p avglocal-bench --bin bench_e1 -- --quick   # smoke run
+//! ```
+
+use std::env;
+use std::fmt::Write as _;
+use std::fs;
+use std::time::Instant;
+
+use avglocal::algorithms::LargestId;
+use avglocal::prelude::*;
+use avglocal::runtime::{BallExecution, BallExecutor, Knowledge};
+
+/// Repetitions per measurement; the minimum is reported.
+const REPS: usize = 3;
+
+struct Row {
+    n: usize,
+    total_radius: usize,
+    incremental_ms: f64,
+    baseline_ms: f64,
+}
+
+fn measure(executor: &BallExecutor, graph: &Graph) -> (BallExecution<bool>, f64) {
+    let mut best = f64::INFINITY;
+    let mut run = None;
+    for _ in 0..REPS {
+        let start = Instant::now();
+        let result = executor
+            .run(graph, &LargestId, Knowledge::none())
+            .expect("largest-ID terminates on every cycle");
+        best = best.min(start.elapsed().as_secs_f64() * 1e3);
+        run = Some(result);
+    }
+    (run.expect("REPS >= 1"), best)
+}
+
+fn main() {
+    let quick = env::args().any(|a| a == "--quick");
+    let sizes: &[usize] = if quick { &[256, 1024] } else { &[256, 1024, 4096] };
+
+    println!("E1 largest-ID on the identity cycle: incremental vs from-scratch baseline");
+    println!(
+        "{:>6} {:>14} {:>16} {:>13} {:>9}",
+        "n", "total radius", "incremental ms", "baseline ms", "speedup"
+    );
+
+    let mut rows = Vec::new();
+    for &n in sizes {
+        let graph = cycle_with_assignment(n, &IdAssignment::Identity)
+            .expect("cycles of the benchmarked sizes are valid");
+        let (fast, incremental_ms) = measure(&BallExecutor::new(), &graph);
+        let (slow, baseline_ms) = measure(&BallExecutor::from_scratch_baseline(), &graph);
+        assert_eq!(fast.radii(), slow.radii(), "engines disagree on radii at n={n}");
+        assert_eq!(fast.outputs(), slow.outputs(), "engines disagree on outputs at n={n}");
+        println!(
+            "{:>6} {:>14} {:>16.3} {:>13.3} {:>8.1}x",
+            n,
+            fast.total_radius(),
+            incremental_ms,
+            baseline_ms,
+            baseline_ms / incremental_ms
+        );
+        rows.push(Row { n, total_radius: fast.total_radius(), incremental_ms, baseline_ms });
+    }
+
+    let mut json =
+        String::from("{\n  \"experiment\": \"e1_largest_id_identity\",\n  \"rows\": [\n");
+    for (i, row) in rows.iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "    {{\"n\": {}, \"total_radius\": {}, \"incremental_ms\": {:.3}, \"baseline_ms\": {:.3}, \"speedup\": {:.1}}}{}",
+            row.n,
+            row.total_radius,
+            row.incremental_ms,
+            row.baseline_ms,
+            row.baseline_ms / row.incremental_ms,
+            if i + 1 == rows.len() { "" } else { "," }
+        );
+    }
+    json.push_str("  ]\n}\n");
+    fs::write("BENCH_e1.json", &json).expect("BENCH_e1.json must be writable");
+    println!("\nwrote BENCH_e1.json");
+
+    if let Some(last) = rows.last() {
+        let speedup = last.baseline_ms / last.incremental_ms;
+        assert!(
+            speedup >= 10.0,
+            "acceptance: incremental engine must be >= 10x the baseline at n={} (got {speedup:.1}x)",
+            last.n
+        );
+    }
+}

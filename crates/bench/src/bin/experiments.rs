@@ -17,12 +17,12 @@ fn main() {
     let args: Vec<String> = env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
     let csv = args.iter().any(|a| a == "--csv");
-    let selected: Vec<usize> = (1..=6)
-        .filter(|i| args.iter().any(|a| a == &format!("--e{i}")))
-        .collect();
+    let selected: Vec<usize> =
+        (1..=6).filter(|i| args.iter().any(|a| a == &format!("--e{i}"))).collect();
     let run_all = selected.is_empty();
 
-    let builders: [(usize, fn(bool) -> avglocal::report::Table); 6] = [
+    type TableBuilder = fn(bool) -> avglocal::report::Table;
+    let builders: [(usize, TableBuilder); 6] = [
         (1, tables::table_e1),
         (2, tables::table_e2),
         (3, tables::table_e3),
@@ -31,10 +31,7 @@ fn main() {
         (6, tables::table_e6),
     ];
 
-    println!(
-        "avglocal experiment harness ({} sizes)\n",
-        if quick { "quick" } else { "full" }
-    );
+    println!("avglocal experiment harness ({} sizes)\n", if quick { "quick" } else { "full" });
     for (id, build) in builders {
         if run_all || selected.contains(&id) {
             let table = build(quick);

@@ -17,7 +17,8 @@ use avglocal::report::fmt_float;
 /// prediction `(a(n-1) + n/2)/n`, and the worst-case radius `n/2`.
 #[must_use]
 pub fn table_e1(quick: bool) -> Table {
-    let exponents: Vec<u32> = if quick { vec![4, 6, 8] } else { vec![4, 5, 6, 7, 8, 9, 10, 11, 12] };
+    let exponents: Vec<u32> =
+        if quick { vec![4, 6, 8] } else { vec![4, 5, 6, 7, 8, 9, 10, 11, 12] };
     let trials = if quick { 2 } else { 5 };
     let mut table = Table::new(
         "E1: largest ID on the n-cycle — average vs worst case",
@@ -251,8 +252,7 @@ pub fn table_e6(quick: bool) -> Table {
         Problem::LandmarkColoring,
         Problem::KnowTheLeader,
     ] {
-        let profile =
-            run_on_cycle(problem, n, &assignment).expect("all problems run on cycles");
+        let profile = run_on_cycle(problem, n, &assignment).expect("all problems run on cycles");
         let outcome = schedule_radii(&profile, workers);
         table.push_row(vec![
             problem.to_string(),

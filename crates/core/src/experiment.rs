@@ -8,6 +8,7 @@
 
 use avglocal_analysis::Summary;
 use avglocal_graph::{generators, Graph, IdAssignment};
+use rayon::prelude::*;
 
 use crate::error::{CoreError, Result};
 use crate::measure::MeasurePair;
@@ -154,16 +155,26 @@ impl Sweep {
         }
         let mut rows = Vec::with_capacity(self.sizes.len());
         for &n in &self.sizes {
+            // Trials are independent and their seeds explicit, so they run in
+            // parallel; results are collected in trial order, keeping every
+            // aggregate bit-for-bit identical to a sequential sweep.
+            let per_trial: Vec<Result<(f64, f64, f64)>> = (0..self.trials)
+                .into_par_iter()
+                .map(|trial| {
+                    let assignment = self.policy.assignment_for_trial(trial);
+                    let profile = run_on_cycle(self.problem, n, &assignment)?;
+                    let pair = MeasurePair::of(&profile);
+                    Ok((pair.worst_case, pair.average, profile.total() as f64))
+                })
+                .collect();
             let mut worst = Vec::with_capacity(self.trials);
             let mut averages = Vec::with_capacity(self.trials);
             let mut totals = Vec::with_capacity(self.trials);
-            for trial in 0..self.trials {
-                let assignment = self.policy.assignment_for_trial(trial);
-                let profile = run_on_cycle(self.problem, n, &assignment)?;
-                let pair = MeasurePair::of(&profile);
-                worst.push(pair.worst_case);
-                averages.push(pair.average);
-                totals.push(profile.total() as f64);
+            for result in per_trial {
+                let (w, a, t) = result?;
+                worst.push(w);
+                averages.push(a);
+                totals.push(t);
             }
             let average_summary = Summary::from_values(&averages);
             rows.push(SweepRow {
@@ -185,7 +196,11 @@ impl Sweep {
 /// # Errors
 ///
 /// Propagates graph-construction and execution errors.
-pub fn run_on_cycle(problem: Problem, n: usize, assignment: &IdAssignment) -> Result<RadiusProfile> {
+pub fn run_on_cycle(
+    problem: Problem,
+    n: usize,
+    assignment: &IdAssignment,
+) -> Result<RadiusProfile> {
     let graph = cycle_with_assignment(n, assignment)?;
     problem.run(&graph)
 }
@@ -233,13 +248,20 @@ pub fn random_permutation_study(
             reason: "the random-permutation study needs at least one sample".to_string(),
         });
     }
+    let per_sample: Vec<Result<(f64, f64)>> = (0..samples)
+        .into_par_iter()
+        .map(|i| {
+            let assignment = IdAssignment::Shuffled { seed: base_seed.wrapping_add(i as u64) };
+            let profile = run_on_cycle(problem, n, &assignment)?;
+            Ok((profile.average(), profile.max() as f64))
+        })
+        .collect();
     let mut averages = Vec::with_capacity(samples);
     let mut worsts = Vec::with_capacity(samples);
-    for i in 0..samples {
-        let assignment = IdAssignment::Shuffled { seed: base_seed.wrapping_add(i as u64) };
-        let profile = run_on_cycle(problem, n, &assignment)?;
-        averages.push(profile.average());
-        worsts.push(profile.max() as f64);
+    for result in per_sample {
+        let (average, worst) = result?;
+        averages.push(average);
+        worsts.push(worst);
     }
     Ok(RandomPermutationStudy {
         n,

@@ -18,7 +18,10 @@ impl Series {
     /// Creates a series from a label and values.
     #[must_use]
     pub fn new<S: Into<String>>(name: S, values: Vec<f64>) -> Self {
-        Series { name: name.into(), values: values.into_iter().map(|v| if v.is_finite() { v } else { 0.0 }).collect() }
+        Series {
+            name: name.into(),
+            values: values.into_iter().map(|v| if v.is_finite() { v } else { 0.0 }).collect(),
+        }
     }
 }
 
@@ -72,14 +75,7 @@ impl AsciiChart {
             }
         }
 
-        let col_width = self
-            .x_labels
-            .iter()
-            .map(String::len)
-            .max()
-            .unwrap_or(1)
-            .max(3)
-            + 1;
+        let col_width = self.x_labels.iter().map(String::len).max().unwrap_or(1).max(3) + 1;
         let mut out = String::new();
         out.push_str(&format!("-- {} --\n", self.title));
         for (ri, row) in grid.iter().enumerate() {
@@ -98,12 +94,7 @@ impl AsciiChart {
         }
         out.push('\n');
         for (si, s) in series.iter().enumerate() {
-            out.push_str(&format!(
-                "{:>9}  {} = {}\n",
-                "",
-                MARKERS[si % MARKERS.len()],
-                s.name
-            ));
+            out.push_str(&format!("{:>9}  {} = {}\n", "", MARKERS[si % MARKERS.len()], s.name));
         }
         out
     }

@@ -198,9 +198,8 @@ mod tests {
         let mut g = generators::cycle(15).unwrap();
         IdAssignment::Shuffled { seed: 2 }.apply(&mut g).unwrap();
         let ball = BallExecutor::new().run(&g, &LargestId, Knowledge::none()).unwrap();
-        let rounds = SyncExecutor::new()
-            .run(&g, &GatherAdapter::new(LargestId), Knowledge::none())
-            .unwrap();
+        let rounds =
+            SyncExecutor::new().run(&g, &GatherAdapter::new(LargestId), Knowledge::none()).unwrap();
         let p1 = RadiusProfile::from_ball_execution(&ball);
         let p2 = RadiusProfile::from_execution(&rounds).unwrap();
         assert_eq!(p1, p2);

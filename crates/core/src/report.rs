@@ -63,7 +63,9 @@ impl Table {
             .collect();
         out.push_str(&header.join("  "));
         out.push('\n');
-        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len().saturating_sub(1))));
+        out.push_str(
+            &"-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len().saturating_sub(1))),
+        );
         out.push('\n');
         for row in &self.rows {
             let cells: Vec<String> = row
@@ -169,6 +171,6 @@ mod tests {
     #[test]
     fn float_formatting() {
         assert_eq!(fmt_float(1.0), "1.000");
-        assert_eq!(fmt_float(2.71828), "2.718");
+        assert_eq!(fmt_float(2.71881), "2.719");
     }
 }

@@ -30,10 +30,11 @@ use crate::{Graph, Identifier};
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 #[non_exhaustive]
 pub enum IdAssignment {
     /// Node `i` receives identifier `i`.
+    #[default]
     Identity,
     /// Node `i` receives identifier `n - 1 - i`.
     Reversed,
@@ -57,9 +58,7 @@ impl IdAssignment {
     #[must_use]
     pub fn identifiers(&self, n: usize, base: u64) -> Vec<Identifier> {
         let perm = self.permutation(n);
-        (0..n)
-            .map(|i| Identifier::new(base + perm.get(i) as u64))
-            .collect()
+        (0..n).map(|i| Identifier::new(base + perm.get(i) as u64)).collect()
     }
 
     /// The permutation of `0..n` underlying this policy.
@@ -125,12 +124,6 @@ impl IdAssignment {
     /// is not a permutation.
     pub fn from_vec(map: Vec<usize>) -> Result<Self> {
         Ok(IdAssignment::Explicit(Permutation::from_vec(map)?))
-    }
-}
-
-impl Default for IdAssignment {
-    fn default() -> Self {
-        IdAssignment::Identity
     }
 }
 

@@ -54,6 +54,23 @@ pub struct Ball {
 }
 
 impl Ball {
+    /// Assembles a ball from pre-computed parts; used by
+    /// [`crate::BallGrower`] to materialise snapshots that are
+    /// field-for-field identical to [`extract_ball`]'s output.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn from_parts(
+        center: NodeId,
+        radius: usize,
+        members: Vec<NodeId>,
+        distances: Vec<usize>,
+        index_of: HashMap<NodeId, usize>,
+        identifiers: Vec<Identifier>,
+        edges: Vec<(usize, usize)>,
+        saturated: bool,
+    ) -> Self {
+        Ball { center, radius, members, distances, index_of, identifiers, edges, saturated }
+    }
+
     /// The centre node (host-graph id).
     #[must_use]
     pub fn center(&self) -> NodeId {
@@ -157,8 +174,7 @@ impl Ball {
             g.add_node(*id);
         }
         for &(a, b) in &self.edges {
-            g.add_edge(NodeId::new(a), NodeId::new(b))
-                .expect("ball edges are simple and in range");
+            g.add_edge(NodeId::new(a), NodeId::new(b)).expect("ball edges are simple and in range");
         }
         g
     }
@@ -188,8 +204,8 @@ pub fn extract_ball(graph: &Graph, center: NodeId, radius: usize) -> Ball {
             continue;
         }
         for &v in graph.neighbors(u) {
-            if !index_of.contains_key(&v) {
-                index_of.insert(v, members.len());
+            if let std::collections::hash_map::Entry::Vacant(entry) = index_of.entry(v) {
+                entry.insert(members.len());
                 members.push(v);
                 distances.push(du + 1);
                 queue.push_back(v);
@@ -247,10 +263,7 @@ pub fn arm(graph: &Graph, center: NodeId, first_step: NodeId, len: usize) -> Vec
     for _ in 0..len {
         out.push(current);
         let nbrs = graph.neighbors(current);
-        assert!(
-            nbrs.len() <= 2,
-            "arm walks are only defined on nodes of degree at most 2"
-        );
+        assert!(nbrs.len() <= 2, "arm walks are only defined on nodes of degree at most 2");
         let next = nbrs.iter().copied().find(|&v| v != prev);
         match next {
             Some(v) if v != center => {

@@ -160,12 +160,7 @@ mod tests {
 
     #[test]
     fn duplicate_edge_rejected() {
-        let err = GraphBuilder::new()
-            .nodes([1, 2])
-            .edge(1, 2)
-            .edge(2, 1)
-            .build()
-            .unwrap_err();
+        let err = GraphBuilder::new().nodes([1, 2]).edge(1, 2).edge(2, 1).build().unwrap_err();
         assert!(matches!(err, GraphError::DuplicateEdge { .. }));
     }
 

@@ -1,0 +1,163 @@
+//! Compressed sparse row (CSR) adjacency snapshots.
+//!
+//! [`Graph`] stores adjacency as one `Vec` per node, which is the right shape
+//! for incremental construction but the wrong one for traversal-heavy hot
+//! loops: every neighbour list is its own allocation, so a BFS chases a
+//! pointer per node. [`CsrGraph`] is the frozen, read-only counterpart — two
+//! flat arrays (`offsets`, `targets`) plus the identifier table — produced
+//! once per execution by [`Graph::freeze`] and shared immutably by every
+//! worker thread. Port order (the neighbour order of the source graph) is
+//! preserved exactly, so anything derived from a CSR snapshot matches the
+//! `Graph`-based code paths node for node.
+
+use crate::{Graph, Identifier, NodeId};
+
+/// A frozen adjacency snapshot of a [`Graph`] in compressed sparse row form.
+///
+/// Node `v`'s neighbours are `targets[offsets[v] .. offsets[v + 1]]`, in the
+/// same port order as [`Graph::neighbors`]. Indices are `u32`, which halves
+/// the memory traffic of the hot traversal loops; graphs with more than
+/// `u32::MAX - 1` nodes are rejected by [`Graph::freeze`].
+///
+/// # Examples
+///
+/// ```
+/// use avglocal_graph::{generators, NodeId};
+///
+/// # fn main() -> Result<(), avglocal_graph::GraphError> {
+/// let g = generators::cycle(8)?;
+/// let csr = g.freeze();
+/// assert_eq!(csr.node_count(), 8);
+/// assert_eq!(csr.degree(0), 2);
+/// assert_eq!(csr.neighbors(0), &[1, 7]);
+/// assert_eq!(csr.identifier(3), g.identifier(NodeId::new(3)));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CsrGraph {
+    /// `offsets[v] .. offsets[v + 1]` brackets node `v`'s slice of `targets`.
+    offsets: Vec<u32>,
+    /// Concatenated neighbour lists, in port order.
+    targets: Vec<u32>,
+    /// Identifier of each node, indexed by node.
+    identifiers: Vec<Identifier>,
+}
+
+impl CsrGraph {
+    /// Builds the snapshot; called through [`Graph::freeze`].
+    ///
+    /// # Panics
+    ///
+    /// Panics when the graph has `u32::MAX` nodes or more, or when its
+    /// directed edge count `2·m` exceeds `u32::MAX` (dense graphs can hit the
+    /// edge limit well below the node limit).
+    #[must_use]
+    pub fn from_graph(graph: &Graph) -> Self {
+        let n = graph.node_count();
+        assert!(
+            u32::try_from(n).is_ok_and(|n| n < u32::MAX),
+            "CSR snapshots index nodes with u32; {n} nodes do not fit"
+        );
+        let directed_edges = 2 * graph.edge_count();
+        assert!(
+            u32::try_from(directed_edges).is_ok(),
+            "CSR snapshots index edge offsets with u32; {directed_edges} edge endpoints do not fit"
+        );
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut targets = Vec::with_capacity(directed_edges);
+        offsets.push(0);
+        for v in graph.nodes() {
+            for &u in graph.neighbors(v) {
+                targets.push(u.index() as u32);
+            }
+            offsets.push(targets.len() as u32);
+        }
+        CsrGraph { offsets, targets, identifiers: graph.identifiers().collect() }
+    }
+
+    /// Number of nodes.
+    #[must_use]
+    pub fn node_count(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Number of undirected edges.
+    #[must_use]
+    pub fn edge_count(&self) -> usize {
+        self.targets.len() / 2
+    }
+
+    /// Degree of node `v`.
+    #[must_use]
+    pub fn degree(&self, v: u32) -> usize {
+        (self.offsets[v as usize + 1] - self.offsets[v as usize]) as usize
+    }
+
+    /// Neighbours of node `v`, in port order.
+    #[must_use]
+    pub fn neighbors(&self, v: u32) -> &[u32] {
+        &self.targets[self.offsets[v as usize] as usize..self.offsets[v as usize + 1] as usize]
+    }
+
+    /// Identifier of node `v`.
+    #[must_use]
+    pub fn identifier(&self, v: u32) -> Identifier {
+        self.identifiers[v as usize]
+    }
+
+    /// All identifiers, indexed by node.
+    #[must_use]
+    pub fn identifiers(&self) -> &[Identifier] {
+        &self.identifiers
+    }
+
+    /// Host [`NodeId`] of CSR node `v`.
+    #[must_use]
+    pub fn node_id(&self, v: u32) -> NodeId {
+        NodeId::new(v as usize)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    #[test]
+    fn csr_mirrors_graph_adjacency() {
+        let graphs = [
+            generators::cycle(9).unwrap(),
+            generators::path(5).unwrap(),
+            generators::grid(3, 4).unwrap(),
+            generators::complete(6).unwrap(),
+            generators::petersen(),
+        ];
+        for g in &graphs {
+            let csr = g.freeze();
+            assert_eq!(csr.node_count(), g.node_count());
+            assert_eq!(csr.edge_count(), g.edge_count());
+            for v in g.nodes() {
+                let expected: Vec<u32> = g.neighbors(v).iter().map(|u| u.index() as u32).collect();
+                assert_eq!(csr.neighbors(v.index() as u32), expected.as_slice());
+                assert_eq!(csr.degree(v.index() as u32), g.degree(v));
+                assert_eq!(csr.identifier(v.index() as u32), g.identifier(v));
+            }
+        }
+    }
+
+    #[test]
+    fn empty_graph_freezes() {
+        let csr = Graph::new().freeze();
+        assert_eq!(csr.node_count(), 0);
+        assert_eq!(csr.edge_count(), 0);
+        assert!(csr.identifiers().is_empty());
+    }
+
+    #[test]
+    fn node_id_round_trip() {
+        let g = generators::cycle(4).unwrap();
+        let csr = g.freeze();
+        assert_eq!(csr.node_id(3), NodeId::new(3));
+    }
+}

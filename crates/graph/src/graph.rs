@@ -1,8 +1,9 @@
 //! Undirected simple graphs with per-node identifiers.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::fmt;
 
+use crate::csr::CsrGraph;
 use crate::error::{GraphError, Result};
 use crate::{Identifier, NodeId};
 
@@ -34,7 +35,20 @@ pub struct Graph {
     adjacency: Vec<Vec<NodeId>>,
     identifiers: Vec<Identifier>,
     by_identifier: HashMap<Identifier, NodeId>,
+    /// Normalised `(min, max)` endpoint pairs, mirroring `adjacency`. Makes
+    /// [`Graph::contains_edge`] (and thus the duplicate check of
+    /// [`Graph::add_edge`]) `O(1)`, so bulk generators are not `O(n·Δ²)`.
+    edge_set: HashSet<(NodeId, NodeId)>,
     edge_count: usize,
+}
+
+/// Normalises an undirected edge to its `(min, max)` key.
+fn edge_key(u: NodeId, v: NodeId) -> (NodeId, NodeId) {
+    if u <= v {
+        (u, v)
+    } else {
+        (v, u)
+    }
 }
 
 impl Graph {
@@ -51,6 +65,7 @@ impl Graph {
             adjacency: Vec::with_capacity(nodes),
             identifiers: Vec::with_capacity(nodes),
             by_identifier: HashMap::with_capacity(nodes),
+            edge_set: HashSet::new(),
             edge_count: 0,
         }
     }
@@ -70,9 +85,7 @@ impl Graph {
 
     /// Adds `count` nodes with identifiers `0..count` and returns their ids.
     pub fn add_nodes_with_default_ids(&mut self, count: usize) -> Vec<NodeId> {
-        (0..count)
-            .map(|i| self.add_node(Identifier::new(i as u64)))
-            .collect()
+        (0..count).map(|i| self.add_node(Identifier::new(i as u64))).collect()
     }
 
     /// Adds the undirected edge `(u, v)`.
@@ -88,7 +101,7 @@ impl Graph {
         if u == v {
             return Err(GraphError::SelfLoop { node: u });
         }
-        if self.contains_edge(u, v) {
+        if !self.edge_set.insert(edge_key(u, v)) {
             return Err(GraphError::DuplicateEdge { u, v });
         }
         self.adjacency[u.index()].push(v);
@@ -121,12 +134,22 @@ impl Graph {
         node.index() < self.adjacency.len()
     }
 
-    /// Returns `true` if the undirected edge `(u, v)` exists.
+    /// Returns `true` if the undirected edge `(u, v)` exists. `O(1)`.
     #[must_use]
     pub fn contains_edge(&self, u: NodeId, v: NodeId) -> bool {
-        self.contains_node(u)
-            && self.contains_node(v)
-            && self.adjacency[u.index()].contains(&v)
+        self.edge_set.contains(&edge_key(u, v))
+    }
+
+    /// Freezes the adjacency into a flat [`CsrGraph`] snapshot for
+    /// traversal-heavy workloads; see [`crate::csr`].
+    ///
+    /// # Panics
+    ///
+    /// Panics when the graph has `u32::MAX` nodes or more, or when its
+    /// directed edge count exceeds `u32::MAX`.
+    #[must_use]
+    pub fn freeze(&self) -> CsrGraph {
+        CsrGraph::from_graph(self)
     }
 
     /// Degree of `node`.
@@ -187,11 +210,7 @@ impl Graph {
     /// Returns the node with the largest identifier, if the graph is non-empty.
     #[must_use]
     pub fn max_identifier_node(&self) -> Option<NodeId> {
-        self.identifiers
-            .iter()
-            .enumerate()
-            .max_by_key(|(_, id)| **id)
-            .map(|(i, _)| NodeId::new(i))
+        self.identifiers.iter().enumerate().max_by_key(|(_, id)| **id).map(|(i, _)| NodeId::new(i))
     }
 
     /// Iterator over all node ids, in index order.
@@ -341,10 +360,7 @@ mod tests {
         let mut g = Graph::new();
         let a = g.add_node(Identifier::new(1));
         let ghost = NodeId::new(10);
-        assert!(matches!(
-            g.add_edge(a, ghost),
-            Err(GraphError::NodeOutOfBounds { .. })
-        ));
+        assert!(matches!(g.add_edge(a, ghost), Err(GraphError::NodeOutOfBounds { .. })));
     }
 
     #[test]
@@ -382,11 +398,8 @@ mod tests {
         let err = g.set_all_identifiers(&[Identifier::new(5)]);
         assert!(matches!(err, Err(GraphError::AssignmentLengthMismatch { .. })));
 
-        let err = g.set_all_identifiers(&[
-            Identifier::new(5),
-            Identifier::new(5),
-            Identifier::new(6),
-        ]);
+        let err =
+            g.set_all_identifiers(&[Identifier::new(5), Identifier::new(5), Identifier::new(6)]);
         assert!(matches!(err, Err(GraphError::DuplicateIdentifier { identifier: 5 })));
 
         g.set_all_identifiers(&[Identifier::new(30), Identifier::new(20), Identifier::new(10)])

@@ -14,6 +14,8 @@
 //! * [`Permutation`] / [`IdAssignment`] — the adversary's choice of how
 //!   identifiers are laid out on the nodes;
 //! * [`ball`] — radius-`r` balls, the unit of knowledge in the LOCAL model;
+//! * [`CsrGraph`] / [`BallGrower`] — the frozen flat adjacency snapshot and
+//!   the incremental ball engine the executors' hot paths run on;
 //! * [`traversal`] / [`metrics`] — centralized graph algorithms used for
 //!   verification and reporting;
 //! * [`PortNumbering`] — the local names a node uses for its incident edges.
@@ -42,9 +44,11 @@
 mod assignment;
 pub mod ball;
 mod builder;
+pub mod csr;
 mod error;
 pub mod generators;
 mod graph;
+pub mod grower;
 mod ids;
 pub mod io;
 pub mod metrics;
@@ -55,8 +59,10 @@ pub mod traversal;
 pub use assignment::IdAssignment;
 pub use ball::{arm, extract_ball, Ball};
 pub use builder::GraphBuilder;
+pub use csr::CsrGraph;
 pub use error::{GraphError, Result};
 pub use graph::Graph;
+pub use grower::BallGrower;
 pub use ids::{Identifier, NodeId};
 pub use metrics::{degree_histogram, summarize, GraphSummary};
 pub use permutation::Permutation;

@@ -80,11 +80,8 @@ impl<B: BallAlgorithm> RoundAlgorithm for GatherAdapter<B> {
     fn send(&self, state: &Self::State, ctx: &NodeContext) -> Vec<Envelope<Self::Message>> {
         // Full-information flooding: relay everything known, even after
         // deciding, as required by the model.
-        let payload: Vec<Record> = state
-            .records
-            .iter()
-            .map(|(id, nbrs)| (*id, nbrs.clone()))
-            .collect();
+        let payload: Vec<Record> =
+            state.records.iter().map(|(id, nbrs)| (*id, nbrs.clone())).collect();
         broadcast(ctx.degree, &payload)
     }
 
@@ -118,7 +115,7 @@ mod tests {
     use crate::examples::NaiveLargestId;
     use crate::executor::SyncExecutor;
     use crate::knowledge::Knowledge;
-    use avglocal_graph::{generators, IdAssignment, Graph};
+    use avglocal_graph::{generators, Graph, IdAssignment};
 
     fn shuffled_cycle(n: usize, seed: u64) -> Graph {
         let mut g = generators::cycle(n).unwrap();
@@ -130,8 +127,7 @@ mod tests {
     fn adapter_rounds_equal_ball_radii_on_cycles() {
         for seed in 0..5u64 {
             let g = shuffled_cycle(17, seed);
-            let ball_run =
-                BallExecutor::new().run(&g, &NaiveLargestId, Knowledge::none()).unwrap();
+            let ball_run = BallExecutor::new().run(&g, &NaiveLargestId, Knowledge::none()).unwrap();
             let round_run = SyncExecutor::new()
                 .run(&g, &GatherAdapter::new(NaiveLargestId), Knowledge::none())
                 .unwrap();
@@ -157,8 +153,7 @@ mod tests {
         );
         for mut g in graphs {
             IdAssignment::Shuffled { seed: 11 }.apply(&mut g).unwrap();
-            let ball_run =
-                BallExecutor::new().run(&g, &NaiveLargestId, Knowledge::none()).unwrap();
+            let ball_run = BallExecutor::new().run(&g, &NaiveLargestId, Knowledge::none()).unwrap();
             let round_run = SyncExecutor::new()
                 .run(&g, &GatherAdapter::new(NaiveLargestId), Knowledge::none())
                 .unwrap();

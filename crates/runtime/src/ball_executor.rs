@@ -5,8 +5,23 @@
 //! node's cost `r(v)`. This is the view in which the paper states all of its
 //! results, and it is the executor used by the experiment harness because the
 //! radii it reports are exact by construction.
+//!
+//! # Performance
+//!
+//! The executor freezes the graph into a [`CsrGraph`] snapshot once, then
+//! drives one incremental [`BallGrower`] per worker thread: probing a node at
+//! radii `0, 1, …, r(v)` costs `Θ(ball(v))` edges in total instead of the
+//! `Θ(r(v)²)` a from-scratch extraction per probe would cost, and the grower
+//! reuses its scratch buffers across the nodes of a chunk (no per-probe
+//! allocation in the steady state). Nodes are processed in parallel in
+//! index-ordered chunks, so outputs and radii are deterministic.
+//!
+//! The pre-CSR behaviour — a fresh [`extract_ball`] per probe — is preserved
+//! behind [`BallExecutor::from_scratch_baseline`] so benches and tests can
+//! quantify the difference.
 
-use avglocal_graph::{extract_ball, Graph, NodeId};
+use avglocal_graph::{extract_ball, BallGrower, Graph, NodeId};
+use rayon::prelude::*;
 
 use crate::algorithm::BallAlgorithm;
 use crate::error::{Result, RuntimeError};
@@ -91,6 +106,17 @@ impl<O> BallExecution<O> {
     }
 }
 
+/// How the executor obtains the view at each probed radius.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum GrowthStrategy {
+    /// Incremental frontier growth on a CSR snapshot — `Θ(ball(v))` per node.
+    #[default]
+    Incremental,
+    /// A full BFS extraction per probe — `Θ(r(v)²)` per node. Kept as the
+    /// measured baseline for benches and equivalence tests.
+    FromScratch,
+}
+
 /// Executor for [`BallAlgorithm`]s.
 ///
 /// # Examples
@@ -114,6 +140,7 @@ impl<O> BallExecution<O> {
 #[derive(Debug, Clone, Default)]
 pub struct BallExecutor {
     max_radius: Option<usize>,
+    strategy: GrowthStrategy,
 }
 
 impl BallExecutor {
@@ -121,17 +148,42 @@ impl BallExecutor {
     /// which is always enough because views saturate at the component).
     #[must_use]
     pub fn new() -> Self {
-        BallExecutor { max_radius: None }
+        BallExecutor { max_radius: None, strategy: GrowthStrategy::Incremental }
     }
 
     /// Creates an executor that refuses to grow balls beyond `max_radius`.
     #[must_use]
     pub fn with_max_radius(max_radius: usize) -> Self {
-        BallExecutor { max_radius: Some(max_radius) }
+        BallExecutor { max_radius: Some(max_radius), strategy: GrowthStrategy::Incremental }
+    }
+
+    /// Creates an executor that re-extracts every ball from scratch at every
+    /// probed radius — the quadratic pre-CSR behaviour, kept as a measured
+    /// baseline for benches and equivalence tests.
+    #[must_use]
+    pub fn from_scratch_baseline() -> Self {
+        BallExecutor { max_radius: None, strategy: GrowthStrategy::FromScratch }
+    }
+
+    /// Sets the growth strategy, keeping the other settings.
+    #[must_use]
+    pub fn with_strategy(mut self, strategy: GrowthStrategy) -> Self {
+        self.strategy = strategy;
+        self
+    }
+
+    /// The growth strategy this executor uses.
+    #[must_use]
+    pub fn strategy(&self) -> GrowthStrategy {
+        self.strategy
     }
 
     /// Runs `algorithm` on every node of `graph` and collects outputs and
     /// radii.
+    ///
+    /// Nodes are processed in parallel over index-ordered chunks; outputs,
+    /// radii and error selection are identical to a sequential left-to-right
+    /// run.
     ///
     /// # Errors
     ///
@@ -139,18 +191,54 @@ impl BallExecutor {
     /// decide on a saturated view (it has seen its whole component, so no
     /// larger radius can help), and [`RuntimeError::RoundLimitExceeded`] if a
     /// custom radius limit is hit first.
-    pub fn run<A: BallAlgorithm>(
+    pub fn run<A>(
         &self,
         graph: &Graph,
         algorithm: &A,
         knowledge: Knowledge,
-    ) -> Result<BallExecution<A::Output>> {
-        let mut outputs = Vec::with_capacity(graph.node_count());
-        let mut radii = Vec::with_capacity(graph.node_count());
-        for v in graph.nodes() {
-            let (out, r) = self.run_node(graph, v, algorithm, knowledge)?;
-            outputs.push(out);
-            radii.push(r);
+    ) -> Result<BallExecution<A::Output>>
+    where
+        A: BallAlgorithm + Sync,
+        A::Output: Send,
+    {
+        let n = graph.node_count();
+        if n == 0 {
+            return Ok(BallExecution { outputs: Vec::new(), radii: Vec::new() });
+        }
+        if self.strategy == GrowthStrategy::FromScratch {
+            return self.run_from_scratch(graph, algorithm, knowledge);
+        }
+        let csr = graph.freeze();
+        let hard_limit = self.max_radius.unwrap_or(n);
+
+        // Chunks are contiguous and processed independently; a few chunks per
+        // thread smooth out the wildly uneven per-node costs (on the paper's
+        // workloads a single node can cost Θ(n) while the rest cost O(1)).
+        let chunk_count = (rayon::current_num_threads() * 4).clamp(1, n);
+        let chunk_len = n.div_ceil(chunk_count);
+        let ranges: Vec<std::ops::Range<usize>> =
+            (0..n).step_by(chunk_len).map(|start| start..(start + chunk_len).min(n)).collect();
+
+        let per_chunk: Vec<Result<ChunkResults<A::Output>>> = ranges
+            .into_par_iter()
+            .map(|range| {
+                let mut grower = BallGrower::new(&csr, NodeId::new(range.start));
+                let mut chunk = Vec::with_capacity(range.len());
+                for index in range {
+                    grower.reset(NodeId::new(index));
+                    chunk.push(drive_grower(&mut grower, algorithm, &knowledge, hard_limit)?);
+                }
+                Ok(chunk)
+            })
+            .collect();
+
+        let mut outputs = Vec::with_capacity(n);
+        let mut radii = Vec::with_capacity(n);
+        for chunk in per_chunk {
+            for (output, radius) in chunk? {
+                outputs.push(output);
+                radii.push(radius);
+            }
         }
         Ok(BallExecution { outputs, radii })
     }
@@ -168,22 +256,87 @@ impl BallExecutor {
         knowledge: Knowledge,
     ) -> Result<(A::Output, usize)> {
         let hard_limit = self.max_radius.unwrap_or(graph.node_count());
-        let mut radius = 0usize;
-        loop {
-            let ball = extract_ball(graph, node, radius);
-            let view = LocalView::from_ball(&ball);
-            let saturated = view.is_saturated();
-            if let Some(out) = algorithm.decide(&view, &knowledge) {
-                return Ok((out, radius));
+        match self.strategy {
+            GrowthStrategy::Incremental => {
+                let csr = graph.freeze();
+                let mut grower = BallGrower::new(&csr, node);
+                drive_grower(&mut grower, algorithm, &knowledge, hard_limit)
             }
-            if saturated {
-                return Err(RuntimeError::NonTerminating { node });
+            GrowthStrategy::FromScratch => {
+                run_node_from_scratch(graph, node, algorithm, &knowledge, hard_limit)
             }
-            if radius >= hard_limit {
-                return Err(RuntimeError::RoundLimitExceeded { limit: hard_limit, undecided: 1 });
-            }
-            radius += 1;
         }
+    }
+
+    /// The sequential, from-scratch reference implementation.
+    fn run_from_scratch<A: BallAlgorithm>(
+        &self,
+        graph: &Graph,
+        algorithm: &A,
+        knowledge: Knowledge,
+    ) -> Result<BallExecution<A::Output>> {
+        let hard_limit = self.max_radius.unwrap_or(graph.node_count());
+        let mut outputs = Vec::with_capacity(graph.node_count());
+        let mut radii = Vec::with_capacity(graph.node_count());
+        for v in graph.nodes() {
+            let (out, r) = run_node_from_scratch(graph, v, algorithm, &knowledge, hard_limit)?;
+            outputs.push(out);
+            radii.push(r);
+        }
+        Ok(BallExecution { outputs, radii })
+    }
+}
+
+/// The `(output, radius)` pairs of one chunk of nodes, in node order.
+type ChunkResults<O> = Vec<(O, usize)>;
+
+/// Probes one node with the incremental grower until the algorithm decides.
+fn drive_grower<A: BallAlgorithm>(
+    grower: &mut BallGrower<'_>,
+    algorithm: &A,
+    knowledge: &Knowledge,
+    hard_limit: usize,
+) -> Result<(A::Output, usize)> {
+    loop {
+        let view = LocalView::from_grower(grower);
+        let saturated = view.is_saturated();
+        if let Some(out) = algorithm.decide(&view, knowledge) {
+            let radius = view.radius();
+            return Ok((out, radius));
+        }
+        if saturated {
+            return Err(RuntimeError::NonTerminating { node: grower.center() });
+        }
+        if grower.radius() >= hard_limit {
+            return Err(RuntimeError::RoundLimitExceeded { limit: hard_limit, undecided: 1 });
+        }
+        grower.grow();
+    }
+}
+
+/// Probes one node by extracting a fresh ball at every radius.
+fn run_node_from_scratch<A: BallAlgorithm>(
+    graph: &Graph,
+    node: NodeId,
+    algorithm: &A,
+    knowledge: &Knowledge,
+    hard_limit: usize,
+) -> Result<(A::Output, usize)> {
+    let mut radius = 0usize;
+    loop {
+        let ball = extract_ball(graph, node, radius);
+        let view = LocalView::from_ball(&ball);
+        let saturated = view.is_saturated();
+        if let Some(out) = algorithm.decide(&view, knowledge) {
+            return Ok((out, radius));
+        }
+        if saturated {
+            return Err(RuntimeError::NonTerminating { node });
+        }
+        if radius >= hard_limit {
+            return Err(RuntimeError::RoundLimitExceeded { limit: hard_limit, undecided: 1 });
+        }
+        radius += 1;
     }
 }
 
@@ -259,12 +412,33 @@ mod tests {
         IdAssignment::Shuffled { seed: 2 }.apply(&mut g).unwrap();
         let full = BallExecutor::new().run(&g, &NaiveLargestId, Knowledge::none()).unwrap();
         for v in g.nodes() {
-            let (out, r) = BallExecutor::new()
-                .run_node(&g, v, &NaiveLargestId, Knowledge::none())
-                .unwrap();
+            let (out, r) =
+                BallExecutor::new().run_node(&g, v, &NaiveLargestId, Knowledge::none()).unwrap();
             assert_eq!(out, *full.output(v));
             assert_eq!(r, full.radius(v));
         }
+    }
+
+    #[test]
+    fn incremental_matches_from_scratch_baseline() {
+        for (n, seed) in [(9usize, 0u64), (16, 1), (33, 5), (64, 9)] {
+            let mut g = generators::cycle(n).unwrap();
+            IdAssignment::Shuffled { seed }.apply(&mut g).unwrap();
+            let fast = BallExecutor::new().run(&g, &NaiveLargestId, Knowledge::none()).unwrap();
+            let slow = BallExecutor::from_scratch_baseline()
+                .run(&g, &NaiveLargestId, Knowledge::none())
+                .unwrap();
+            assert_eq!(fast.outputs(), slow.outputs());
+            assert_eq!(fast.radii(), slow.radii());
+        }
+    }
+
+    #[test]
+    fn strategies_are_selectable() {
+        let exec = BallExecutor::new().with_strategy(GrowthStrategy::FromScratch);
+        assert_eq!(exec.strategy(), GrowthStrategy::FromScratch);
+        assert_eq!(BallExecutor::new().strategy(), GrowthStrategy::Incremental);
+        assert_eq!(BallExecutor::from_scratch_baseline().strategy(), GrowthStrategy::FromScratch);
     }
 
     #[test]
@@ -288,6 +462,13 @@ mod tests {
         assert_eq!(exec.max_radius(), 0);
         assert_eq!(exec.total_radius(), 0);
         assert_eq!(exec.node_count(), 0);
+    }
+
+    #[test]
+    fn empty_graph_runs_to_empty_execution() {
+        let g = avglocal_graph::Graph::new();
+        let run = BallExecutor::new().run(&g, &NaiveLargestId, Knowledge::none()).unwrap();
+        assert_eq!(run.node_count(), 0);
     }
 
     #[test]

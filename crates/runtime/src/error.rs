@@ -35,14 +35,12 @@ pub enum RuntimeError {
 impl fmt::Display for RuntimeError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            RuntimeError::RoundLimitExceeded { limit, undecided } => write!(
-                f,
-                "round limit of {limit} reached with {undecided} undecided nodes"
-            ),
-            RuntimeError::NonTerminating { node } => write!(
-                f,
-                "node {node} saw its whole component but never produced an output"
-            ),
+            RuntimeError::RoundLimitExceeded { limit, undecided } => {
+                write!(f, "round limit of {limit} reached with {undecided} undecided nodes")
+            }
+            RuntimeError::NonTerminating { node } => {
+                write!(f, "node {node} saw its whole component but never produced an output")
+            }
             RuntimeError::UnsupportedTopology { reason } => {
                 write!(f, "unsupported topology: {reason}")
             }

@@ -131,9 +131,7 @@ mod tests {
     fn flood_max_on_clique() {
         let mut g = generators::complete(5).unwrap();
         IdAssignment::Shuffled { seed: 1 }.apply(&mut g).unwrap();
-        let run = SyncExecutor::new()
-            .run(&g, &FloodMax, Knowledge::with_node_count(5))
-            .unwrap();
+        let run = SyncExecutor::new().run(&g, &FloodMax, Knowledge::with_node_count(5)).unwrap();
         assert!(run.outputs().iter().all(|&id| id == Identifier::new(4)));
     }
 

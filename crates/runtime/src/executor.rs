@@ -55,10 +55,7 @@ impl<O: Clone> Execution<O> {
     /// first when in doubt.
     #[must_use]
     pub fn outputs(&self) -> Vec<O> {
-        self.outputs
-            .iter()
-            .map(|o| o.clone().expect("execution is complete"))
-            .collect()
+        self.outputs.iter().map(|o| o.clone().expect("execution is complete")).collect()
     }
 
     /// All decision rounds, in node order.
@@ -68,10 +65,7 @@ impl<O: Clone> Execution<O> {
     /// Panics if some node never decided.
     #[must_use]
     pub fn decision_rounds(&self) -> Vec<usize> {
-        self.decision_rounds
-            .iter()
-            .map(|r| r.expect("execution is complete"))
-            .collect()
+        self.decision_rounds.iter().map(|r| r.expect("execution is complete")).collect()
     }
 
     /// Number of rounds the executor ran (not counting the round-0 decision
@@ -191,7 +185,12 @@ impl SyncExecutor {
             }
         }
         let mut undecided = n - newly_decided;
-        trace.push(RoundStats { round: 0, messages: 0, newly_decided, undecided_remaining: undecided });
+        trace.push(RoundStats {
+            round: 0,
+            messages: 0,
+            newly_decided,
+            undecided_remaining: undecided,
+        });
 
         let limit = self.round_limit(n);
         let mut round = 0usize;
@@ -214,7 +213,7 @@ impl SyncExecutor {
                         continue; // message addressed to a non-existent port is dropped
                     };
                     let incoming_port = ports
-                        .port_to(target, v)
+                        .reverse_port(v, env.port)
                         .expect("port numbering is symmetric for undirected graphs");
                     inboxes[target.index()].push(Envelope::new(incoming_port, env.payload));
                     round_messages += 1;
@@ -244,13 +243,7 @@ impl SyncExecutor {
             });
         }
 
-        Ok(Execution {
-            outputs,
-            decision_rounds,
-            rounds_executed: round,
-            messages_sent,
-            trace,
-        })
+        Ok(Execution { outputs, decision_rounds, rounds_executed: round, messages_sent, trace })
     }
 }
 
@@ -278,9 +271,7 @@ mod tests {
     fn flood_max_terminates_with_knowledge_of_n() {
         let mut g = generators::cycle(9).unwrap();
         IdAssignment::Shuffled { seed: 3 }.apply(&mut g).unwrap();
-        let run = SyncExecutor::new()
-            .run(&g, &FloodMax, Knowledge::with_node_count(9))
-            .unwrap();
+        let run = SyncExecutor::new().run(&g, &FloodMax, Knowledge::with_node_count(9)).unwrap();
         assert!(run.is_complete());
         // Every node outputs the global maximum identifier, 8.
         assert!(run.outputs().iter().all(|id| *id == Identifier::new(8)));
@@ -292,9 +283,8 @@ mod tests {
     #[test]
     fn flood_max_without_knowledge_hits_round_limit() {
         let g = generators::cycle(6).unwrap();
-        let err = SyncExecutor::with_max_rounds(10)
-            .run(&g, &FloodMax, Knowledge::none())
-            .unwrap_err();
+        let err =
+            SyncExecutor::with_max_rounds(10).run(&g, &FloodMax, Knowledge::none()).unwrap_err();
         assert!(matches!(err, RuntimeError::RoundLimitExceeded { limit: 10, .. }));
     }
 

@@ -106,10 +106,7 @@ mod tests {
 
     #[test]
     fn builders_accumulate() {
-        let k = Knowledge::none()
-            .and_node_count(10)
-            .and_max_degree(2)
-            .and_identifier_bound(1000);
+        let k = Knowledge::none().and_node_count(10).and_max_degree(2).and_identifier_bound(1000);
         assert!(!k.is_oblivious());
         assert_eq!(k.node_count(), Some(10));
         assert_eq!(k.max_degree(), Some(2));

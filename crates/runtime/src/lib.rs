@@ -20,6 +20,14 @@
 //! adversarial search over identifier assignments) live in the `avglocal`
 //! crate; this crate only produces exact per-node radii.
 //!
+//! The ball executor runs on a frozen CSR snapshot of the graph and grows
+//! each node's view **incrementally** (see [`avglocal_graph::BallGrower`]),
+//! handing algorithms a lazy [`LocalView`] whose cheap queries never
+//! materialise the induced subgraph; nodes are processed in parallel with
+//! deterministic, index-ordered results. The quadratic from-scratch probing
+//! behaviour remains available via [`BallExecutor::from_scratch_baseline`]
+//! for benches and equivalence tests.
+//!
 //! # Example
 //!
 //! ```
@@ -56,7 +64,7 @@ mod view;
 
 pub use adapter::{GatherAdapter, GatherState, Record};
 pub use algorithm::{BallAlgorithm, NodeContext, RoundAlgorithm};
-pub use ball_executor::{BallExecution, BallExecutor};
+pub use ball_executor::{BallExecution, BallExecutor, GrowthStrategy};
 pub use error::{Result, RuntimeError};
 pub use executor::{Execution, SyncExecutor};
 pub use knowledge::Knowledge;

@@ -6,17 +6,29 @@
 //! [`NodeId`]s, a `LocalView` is expressed purely in terms of the identifiers
 //! and adjacency the node could actually have learnt through communication —
 //! this is what keeps ball-view algorithms honest.
+//!
+//! The view is **lazy**: when it is backed by the incremental
+//! [`BallGrower`], the `O(1)` queries the common algorithms ask at every
+//! radius (centre identifier, running maximum, saturation, node count) are
+//! answered straight from the grower's state, and the induced subgraph is
+//! only materialised if an algorithm actually asks for it
+//! ([`LocalView::graph`] and friends). This is what keeps the per-probe cost
+//! of the ball executor proportional to the *growth* of the ball instead of
+//! its size.
 
+use std::cell::OnceCell;
 use std::collections::BTreeMap;
 
-use avglocal_graph::{traversal, Ball, Graph, Identifier, NodeId};
+use avglocal_graph::{traversal, Ball, BallGrower, Graph, Identifier, NodeId};
 
 /// Everything a node knows after gathering a ball of some radius.
 ///
-/// A `LocalView` can be produced in two ways that must agree (and are tested
-/// to agree):
+/// A `LocalView` can be produced in three ways that must agree (and are
+/// tested to agree):
 ///
-/// * by the ball executor, directly from the host graph
+/// * by the ball executor, straight from the incremental grower
+///   ([`LocalView::from_grower`]);
+/// * from a materialised [`Ball`] extracted from the host graph
 ///   ([`LocalView::from_ball`]); or
 /// * by the message-passing gather adapter, from the records flooded through
 ///   the network ([`LocalView::from_records`]).
@@ -38,36 +50,68 @@ use avglocal_graph::{traversal, Ball, Graph, Identifier, NodeId};
 /// # }
 /// ```
 #[derive(Debug, Clone)]
-pub struct LocalView {
-    /// Reconstructed subgraph; node ids are local to this view.
-    graph: Graph,
-    /// The center node in the local graph.
-    center: NodeId,
+pub struct LocalView<'a> {
     /// Radius the view was gathered at.
     radius: usize,
-    /// Distance from the centre for every local node.
-    distances: Vec<usize>,
     /// Whether the view covers the centre's whole connected component.
     saturated: bool,
+    backing: Backing<'a>,
 }
 
-impl LocalView {
-    /// Builds a view from a [`Ball`] extracted from the host graph.
-    #[must_use]
-    pub fn from_ball(ball: &Ball) -> Self {
+/// Fully materialised view data: the reconstructed subgraph in local ids.
+#[derive(Debug, Clone)]
+struct OwnedView {
+    /// Reconstructed subgraph; node ids are local to this view.
+    graph: Graph,
+    /// The centre node in the local graph.
+    center: NodeId,
+    /// Distance from the centre for every local node.
+    distances: Vec<usize>,
+}
+
+#[derive(Debug, Clone)]
+enum Backing<'a> {
+    /// Eagerly materialised (from a [`Ball`] or from flooded records).
+    Owned(OwnedView),
+    /// Backed by the incremental grower; the subgraph is materialised only on
+    /// first demand.
+    Grower { grower: &'a BallGrower<'a>, materialized: OnceCell<OwnedView> },
+}
+
+impl OwnedView {
+    fn from_ball(ball: &Ball) -> Self {
         let graph = ball.to_subgraph();
-        let center = NodeId::new(0);
         let distances = ball
             .members()
             .iter()
             .map(|&v| ball.distance_to(v).expect("members always have a distance"))
             .collect();
+        OwnedView { graph, center: NodeId::new(0), distances }
+    }
+}
+
+impl<'a> LocalView<'a> {
+    /// Builds a lazily materialised view of the grower's current ball.
+    ///
+    /// All `O(1)` queries (radius, saturation, centre identifier, maximum
+    /// identifier, node count) are answered from the grower without copying;
+    /// the induced subgraph is snapshotted only if asked for.
+    #[must_use]
+    pub fn from_grower(grower: &'a BallGrower<'a>) -> LocalView<'a> {
         LocalView {
-            graph,
-            center,
+            radius: grower.radius(),
+            saturated: grower.is_saturated(),
+            backing: Backing::Grower { grower, materialized: OnceCell::new() },
+        }
+    }
+
+    /// Builds a view from a [`Ball`] extracted from the host graph.
+    #[must_use]
+    pub fn from_ball(ball: &Ball) -> LocalView<'static> {
+        LocalView {
             radius: ball.radius(),
-            distances,
             saturated: ball.is_saturated(),
+            backing: Backing::Owned(OwnedView::from_ball(ball)),
         }
     }
 
@@ -87,7 +131,7 @@ impl LocalView {
         center: Identifier,
         records: &BTreeMap<Identifier, Vec<Identifier>>,
         radius: usize,
-    ) -> Self {
+    ) -> LocalView<'static> {
         assert!(records.contains_key(&center), "the centre must have a record of itself");
         let mut graph = Graph::with_capacity(records.len());
         let mut local_of: BTreeMap<Identifier, NodeId> = BTreeMap::new();
@@ -107,40 +151,71 @@ impl LocalView {
             }
         }
         // Saturated iff no record mentions an identifier outside the ball.
-        let saturated = records
-            .values()
-            .all(|nbrs| nbrs.iter().all(|id| records.contains_key(id)));
+        let saturated = records.values().all(|nbrs| nbrs.iter().all(|id| records.contains_key(id)));
         let center_local = local_of[&center];
         let bfs = traversal::bfs(&graph, center_local);
-        let distances = graph
-            .nodes()
-            .map(|v| bfs.distance(v).unwrap_or(usize::MAX))
-            .collect();
-        LocalView { graph, center: center_local, radius, distances, saturated }
+        let distances = graph.nodes().map(|v| bfs.distance(v).unwrap_or(usize::MAX)).collect();
+        LocalView {
+            radius,
+            saturated,
+            backing: Backing::Owned(OwnedView { graph, center: center_local, distances }),
+        }
+    }
+
+    /// The materialised view data, built on first demand for grower-backed
+    /// views.
+    fn owned(&self) -> &OwnedView {
+        match &self.backing {
+            Backing::Owned(owned) => owned,
+            Backing::Grower { grower, materialized } => {
+                materialized.get_or_init(|| OwnedView::from_ball(&grower.snapshot_ball()))
+            }
+        }
     }
 
     /// The reconstructed subgraph (local node ids, original identifiers).
+    ///
+    /// For grower-backed views this materialises the induced subgraph on
+    /// first call; the cheap queries below never do.
     #[must_use]
     pub fn graph(&self) -> &Graph {
-        &self.graph
+        &self.owned().graph
     }
 
     /// The centre node, in local ids.
     #[must_use]
     pub fn center(&self) -> NodeId {
-        self.center
+        match &self.backing {
+            Backing::Owned(owned) => owned.center,
+            // Grower snapshots list the centre first.
+            Backing::Grower { .. } => NodeId::new(0),
+        }
     }
 
     /// Identifier of the centre node.
     #[must_use]
     pub fn center_identifier(&self) -> Identifier {
-        self.graph.identifier(self.center)
+        match &self.backing {
+            Backing::Owned(owned) => owned.graph.identifier(owned.center),
+            Backing::Grower { grower, .. } => grower.center_identifier(),
+        }
     }
 
-    /// Degree of the centre node.
+    /// Degree of the centre node *inside the view*.
     #[must_use]
     pub fn center_degree(&self) -> usize {
-        self.graph.degree(self.center)
+        match &self.backing {
+            Backing::Owned(owned) => owned.graph.degree(owned.center),
+            Backing::Grower { grower, .. } => {
+                // At radius 0 the induced subgraph is the lone centre; from
+                // radius 1 on, every host neighbour is inside the ball.
+                if self.radius == 0 {
+                    0
+                } else {
+                    grower.center_host_degree()
+                }
+            }
+        }
     }
 
     /// Radius the view was gathered at.
@@ -152,7 +227,10 @@ impl LocalView {
     /// Number of nodes visible in the view.
     #[must_use]
     pub fn node_count(&self) -> usize {
-        self.graph.node_count()
+        match &self.backing {
+            Backing::Owned(owned) => owned.graph.node_count(),
+            Backing::Grower { grower, .. } => grower.node_count(),
+        }
     }
 
     /// Whether the view covers the whole connected component of the centre,
@@ -169,24 +247,35 @@ impl LocalView {
     /// Panics if `v` is not a node of the view.
     #[must_use]
     pub fn distance_of(&self, v: NodeId) -> usize {
-        self.distances[v.index()]
+        match &self.backing {
+            Backing::Owned(owned) => owned.distances[v.index()],
+            Backing::Grower { grower, .. } => grower.distance_of_index(v.index()),
+        }
     }
 
     /// All identifiers visible in the view, in ascending order.
     #[must_use]
     pub fn sorted_identifiers(&self) -> Vec<Identifier> {
-        let mut ids: Vec<Identifier> = self.graph.identifiers().collect();
+        let mut ids: Vec<Identifier> = match &self.backing {
+            Backing::Owned(owned) => owned.graph.identifiers().collect(),
+            Backing::Grower { grower, .. } => grower.identifiers().to_vec(),
+        };
         ids.sort_unstable();
         ids
     }
 
     /// The largest identifier visible in the view.
+    ///
+    /// `O(1)` on grower-backed views — the grower maintains the running
+    /// maximum, which is all the largest-ID algorithm ever needs.
     #[must_use]
     pub fn max_identifier(&self) -> Identifier {
-        self.graph
-            .identifiers()
-            .max()
-            .expect("a view always contains its centre")
+        match &self.backing {
+            Backing::Owned(owned) => {
+                owned.graph.identifiers().max().expect("a view always contains its centre")
+            }
+            Backing::Grower { grower, .. } => grower.max_identifier(),
+        }
     }
 
     /// Returns `true` when the centre's identifier is the maximum of all
@@ -199,18 +288,24 @@ impl LocalView {
     /// Returns `true` when `id` is visible in the view.
     #[must_use]
     pub fn contains_identifier(&self, id: Identifier) -> bool {
-        self.graph.node_by_identifier(id).is_some()
+        match &self.backing {
+            Backing::Owned(owned) => owned.graph.node_by_identifier(id).is_some(),
+            Backing::Grower { grower, .. } => grower.identifiers().contains(&id),
+        }
     }
 
     /// Identifiers of the nodes at exactly distance `d` from the centre.
     #[must_use]
     pub fn identifiers_at_distance(&self, d: usize) -> Vec<Identifier> {
-        let mut ids: Vec<Identifier> = self
-            .graph
-            .nodes()
-            .filter(|v| self.distances[v.index()] == d)
-            .map(|v| self.graph.identifier(v))
-            .collect();
+        let mut ids: Vec<Identifier> = match &self.backing {
+            Backing::Owned(owned) => owned
+                .graph
+                .nodes()
+                .filter(|v| owned.distances[v.index()] == d)
+                .map(|v| owned.graph.identifier(v))
+                .collect(),
+            Backing::Grower { grower, .. } => grower.ring_identifiers(d).to_vec(),
+        };
         ids.sort_unstable();
         ids
     }
@@ -230,11 +325,17 @@ impl LocalView {
     /// node of degree greater than 2.
     #[must_use]
     pub fn arm_identifiers(&self, direction: usize) -> Vec<Identifier> {
-        let first = self.graph.neighbors(self.center)[direction];
-        avglocal_graph::arm(&self.graph, self.center, first, self.radius.max(self.node_count()))
-            .into_iter()
-            .map(|v| self.graph.identifier(v))
-            .collect()
+        let owned = self.owned();
+        let first = owned.graph.neighbors(owned.center)[direction];
+        avglocal_graph::arm(
+            &owned.graph,
+            owned.center,
+            first,
+            self.radius.max(owned.graph.node_count()),
+        )
+        .into_iter()
+        .map(|v| owned.graph.identifier(v))
+        .collect()
     }
 
     /// A canonical fingerprint of the view: (centre id, radius, saturation,
@@ -243,7 +344,15 @@ impl LocalView {
     /// treats the topology up to isomorphism fixing the centre.
     #[must_use]
     pub fn fingerprint(&self) -> (Identifier, usize, bool, Vec<Vec<Identifier>>) {
-        let max_d = self.distances.iter().copied().filter(|&d| d != usize::MAX).max().unwrap_or(0);
+        let max_d = match &self.backing {
+            Backing::Owned(owned) => {
+                owned.distances.iter().copied().filter(|&d| d != usize::MAX).max().unwrap_or(0)
+            }
+            Backing::Grower { grower, .. } => (0..=self.radius)
+                .rev()
+                .find(|&d| !grower.ring_identifiers(d).is_empty())
+                .unwrap_or(0),
+        };
         let by_distance = (0..=max_d).map(|d| self.identifiers_at_distance(d)).collect();
         (self.center_identifier(), self.radius, self.saturated, by_distance)
     }
@@ -254,7 +363,7 @@ mod tests {
     use super::*;
     use avglocal_graph::{extract_ball, generators, IdAssignment};
 
-    fn ring_view(n: usize, center: usize, radius: usize) -> LocalView {
+    fn ring_view(n: usize, center: usize, radius: usize) -> LocalView<'static> {
         let g = generators::cycle(n).unwrap();
         LocalView::from_ball(&extract_ball(&g, NodeId::new(center), radius))
     }
@@ -293,14 +402,8 @@ mod tests {
     fn identifiers_at_distance_on_ring() {
         let v = ring_view(12, 4, 2);
         assert_eq!(v.identifiers_at_distance(0), vec![Identifier::new(4)]);
-        assert_eq!(
-            v.identifiers_at_distance(1),
-            vec![Identifier::new(3), Identifier::new(5)]
-        );
-        assert_eq!(
-            v.identifiers_at_distance(2),
-            vec![Identifier::new(2), Identifier::new(6)]
-        );
+        assert_eq!(v.identifiers_at_distance(1), vec![Identifier::new(3), Identifier::new(5)]);
+        assert_eq!(v.identifiers_at_distance(2), vec![Identifier::new(2), Identifier::new(6)]);
         assert!(v.identifiers_at_distance(3).is_empty());
     }
 
@@ -344,14 +447,53 @@ mod tests {
     }
 
     #[test]
+    fn from_grower_matches_from_ball_exactly() {
+        let mut g = generators::cycle(10).unwrap();
+        IdAssignment::Shuffled { seed: 4 }.apply(&mut g).unwrap();
+        let csr = g.freeze();
+        for center in 0..10usize {
+            let mut grower = avglocal_graph::BallGrower::new(&csr, NodeId::new(center));
+            for radius in 0..7usize {
+                if radius > 0 {
+                    grower.grow();
+                }
+                let lazy = LocalView::from_grower(&grower);
+                let eager = LocalView::from_ball(&extract_ball(&g, NodeId::new(center), radius));
+                assert_eq!(lazy.fingerprint(), eager.fingerprint());
+                assert_eq!(lazy.node_count(), eager.node_count());
+                assert_eq!(lazy.center_degree(), eager.center_degree());
+                assert_eq!(lazy.max_identifier(), eager.max_identifier());
+                assert_eq!(lazy.center(), eager.center());
+                assert_eq!(lazy.sorted_identifiers(), eager.sorted_identifiers());
+                // Materialisation on demand agrees too.
+                assert_eq!(lazy.graph(), eager.graph());
+                for v in lazy.graph().nodes() {
+                    assert_eq!(lazy.distance_of(v), eager.distance_of(v));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn grower_backed_arm_walks() {
+        let g = generators::cycle(9).unwrap();
+        let csr = g.freeze();
+        let mut grower = avglocal_graph::BallGrower::new(&csr, NodeId::new(4));
+        grower.grow();
+        grower.grow();
+        let lazy = LocalView::from_grower(&grower);
+        let eager = LocalView::from_ball(&extract_ball(&g, NodeId::new(4), 2));
+        assert_eq!(lazy.arm_identifiers(0), eager.arm_identifiers(0));
+        assert_eq!(lazy.arm_identifiers(1), eager.arm_identifiers(1));
+    }
+
+    #[test]
     fn from_records_detects_saturation() {
         let g = generators::cycle(5).unwrap();
         let mut records = BTreeMap::new();
         for v in g.nodes() {
-            records.insert(
-                g.identifier(v),
-                g.neighbors(v).iter().map(|&u| g.identifier(u)).collect(),
-            );
+            records
+                .insert(g.identifier(v), g.neighbors(v).iter().map(|&u| g.identifier(u)).collect());
         }
         let view = LocalView::from_records(Identifier::new(2), &records, 2);
         assert!(view.is_saturated());

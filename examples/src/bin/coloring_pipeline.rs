@@ -7,7 +7,7 @@
 //!
 //! Run with: `cargo run -p avglocal-examples --bin coloring_pipeline`
 
-use avglocal::algorithms::{run_three_coloring, verify, landmarks};
+use avglocal::algorithms::{landmarks, run_three_coloring, verify};
 use avglocal::prelude::*;
 use avglocal_examples::print_profile;
 

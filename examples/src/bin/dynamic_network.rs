@@ -21,11 +21,7 @@ fn main() -> Result<(), avglocal::CoreError> {
     for n in [64usize, 256, 1024, 4096] {
         let assignment = IdAssignment::Shuffled { seed: 7 };
         let mut cells = vec![n.to_string()];
-        for problem in [
-            Problem::LargestId,
-            Problem::ThreeColoring,
-            Problem::LandmarkColoring,
-        ] {
+        for problem in [Problem::LargestId, Problem::ThreeColoring, Problem::LandmarkColoring] {
             let profile = run_on_cycle(problem, n, &assignment)?;
             cells.push(format!("{:.1}", expected_invalidated_nodes(&profile)));
         }

@@ -25,10 +25,7 @@ pub fn print_profile(label: &str, profile: &RadiusProfile) {
 /// The ring sizes used by the examples: powers of two in `[16, max]`.
 #[must_use]
 pub fn example_sizes(max: usize) -> Vec<usize> {
-    (4..)
-        .map(|k| 1usize << k)
-        .take_while(|&n| n <= max)
-        .collect()
+    (4..).map(|k| 1usize << k).take_while(|&n| n <= max).collect()
 }
 
 #[cfg(test)]

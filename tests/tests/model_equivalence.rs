@@ -31,7 +31,7 @@ fn gather_adapter_matches_ball_executor_on_cycles() {
 #[test]
 fn gather_adapter_matches_ball_executor_on_other_topologies() {
     use avglocal::graph::generators;
-    let mut graphs = vec![
+    let mut graphs = [
         generators::grid(5, 4).unwrap(),
         generators::balanced_tree(3, 3).unwrap(),
         generators::hypercube(4).unwrap(),

@@ -7,8 +7,8 @@ use avglocal::prelude::*;
 #[test]
 fn recurrence_equals_a000788_for_a_wide_range() {
     let a = recurrence::segment_worst_totals(2048);
-    for n in 0..=2048usize {
-        assert_eq!(a[n], a000788::total_bit_count(n as u64), "n={n}");
+    for (n, &total) in a.iter().enumerate() {
+        assert_eq!(total, a000788::total_bit_count(n as u64), "n={n}");
     }
 }
 
@@ -19,11 +19,7 @@ fn exhaustive_search_matches_theory_exactly() {
     for n in 3..=7usize {
         let search = AdversarySearch::new(Problem::LargestId, Measure::Total);
         let result = search.exhaustive(n).unwrap();
-        assert_eq!(
-            result.objective as u64,
-            theory::largest_id_worst_total(n),
-            "n={n}"
-        );
+        assert_eq!(result.objective as u64, theory::largest_id_worst_total(n), "n={n}");
     }
 }
 

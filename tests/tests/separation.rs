@@ -7,11 +7,9 @@ use avglocal_integration_tests::{shuffled_ring, test_sizes};
 #[test]
 fn worst_case_is_linear_for_every_assignment() {
     for n in [16usize, 64, 256] {
-        for assignment in [
-            IdAssignment::Identity,
-            IdAssignment::Reversed,
-            IdAssignment::Shuffled { seed: 9 },
-        ] {
+        for assignment in
+            [IdAssignment::Identity, IdAssignment::Reversed, IdAssignment::Shuffled { seed: 9 }]
+        {
             let profile = run_on_cycle(Problem::LargestId, n, &assignment).unwrap();
             assert_eq!(profile.max(), n / 2, "n={n}, assignment={assignment:?}");
         }
