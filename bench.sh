@@ -1,6 +1,8 @@
 #!/usr/bin/env sh
 # Perf trajectory for the radius engine: runs the E1 wall-time benchmark
-# (incremental vs from-scratch baseline) and refreshes BENCH_e1.json.
+# (incremental vs from-scratch baseline, plus the run_node probe loop —
+# FrozenExecutor session reuse vs per-call freezing) and refreshes
+# BENCH_e1.json.
 #
 # Usage: ./bench.sh [--quick]
 set -eu

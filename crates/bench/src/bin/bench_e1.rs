@@ -1,6 +1,7 @@
 //! E1 perf trajectory: wall time of the largest-ID radius sweep on the
 //! adversarial identity assignment, incremental engine vs the from-scratch
-//! baseline.
+//! baseline — plus the single-node probe loop, session reuse
+//! ([`FrozenExecutor`]) vs a per-call freeze ([`BallExecutor::run_node`]).
 //!
 //! Writes `BENCH_e1.json` (next to the current working directory) so the
 //! repository keeps a perf trajectory across PRs, and exits non-zero if the
@@ -18,7 +19,7 @@ use std::time::Instant;
 
 use avglocal::algorithms::LargestId;
 use avglocal::prelude::*;
-use avglocal::runtime::{BallExecution, BallExecutor, Knowledge};
+use avglocal::runtime::{BallExecution, BallExecutor, FrozenExecutor, Knowledge};
 
 /// Repetitions per measurement; the minimum is reported.
 const REPS: usize = 3;
@@ -28,6 +29,25 @@ struct Row {
     total_radius: usize,
     incremental_ms: f64,
     baseline_ms: f64,
+}
+
+struct ProbeRow {
+    n: usize,
+    session_ms: f64,
+    refreeze_ms: f64,
+}
+
+/// Times one pass of `probe` over every node of `graph`; the minimum over
+/// [`REPS`] passes is reported. Returns `(total radius, best ms)`.
+fn measure_probe_loop(graph: &Graph, mut probe: impl FnMut(NodeId) -> usize) -> (usize, f64) {
+    let mut best = f64::INFINITY;
+    let mut total = 0usize;
+    for _ in 0..REPS {
+        let start = Instant::now();
+        total = graph.nodes().map(&mut probe).sum();
+        best = best.min(start.elapsed().as_secs_f64() * 1e3);
+    }
+    (total, best)
 }
 
 fn measure(executor: &BallExecutor, graph: &Graph) -> (BallExecution<bool>, f64) {
@@ -73,6 +93,36 @@ fn main() {
         rows.push(Row { n, total_radius: fast.total_radius(), incremental_ms, baseline_ms });
     }
 
+    // The run_node datapoint: probe every node individually, reusing one
+    // frozen session vs freezing a fresh snapshot per call.
+    println!("\nE1 run_node probes: frozen session reuse vs per-call refreeze");
+    println!("{:>6} {:>12} {:>13} {:>9}", "n", "session ms", "refreeze ms", "speedup");
+    let mut probe_rows = Vec::new();
+    for &n in sizes {
+        let graph = cycle_with_assignment(n, &IdAssignment::Identity)
+            .expect("cycles of the benchmarked sizes are valid");
+        let mut session = FrozenExecutor::new(&graph);
+        let (session_total, session_ms) = measure_probe_loop(&graph, |v| {
+            session.run_node(v, &LargestId, Knowledge::none()).expect("largest-ID terminates").1
+        });
+        let per_call = BallExecutor::new();
+        let (refreeze_total, refreeze_ms) = measure_probe_loop(&graph, |v| {
+            per_call
+                .run_node(&graph, v, &LargestId, Knowledge::none())
+                .expect("largest-ID terminates")
+                .1
+        });
+        assert_eq!(session_total, refreeze_total, "probe engines disagree at n={n}");
+        println!(
+            "{:>6} {:>12.3} {:>13.3} {:>8.1}x",
+            n,
+            session_ms,
+            refreeze_ms,
+            refreeze_ms / session_ms
+        );
+        probe_rows.push(ProbeRow { n, session_ms, refreeze_ms });
+    }
+
     let mut json =
         String::from("{\n  \"experiment\": \"e1_largest_id_identity\",\n  \"rows\": [\n");
     for (i, row) in rows.iter().enumerate() {
@@ -87,7 +137,23 @@ fn main() {
             if i + 1 == rows.len() { "" } else { "," }
         );
     }
-    json.push_str("  ]\n}\n");
+    json.push_str("  ],\n  \"run_node\": {\n");
+    json.push_str(
+        "    \"description\": \"per-node probes: FrozenExecutor session reuse vs \
+         BallExecutor::run_node freezing per call\",\n    \"rows\": [\n",
+    );
+    for (i, row) in probe_rows.iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "      {{\"n\": {}, \"session_ms\": {:.3}, \"refreeze_ms\": {:.3}, \"speedup\": {:.1}}}{}",
+            row.n,
+            row.session_ms,
+            row.refreeze_ms,
+            row.refreeze_ms / row.session_ms,
+            if i + 1 == probe_rows.len() { "" } else { "," }
+        );
+    }
+    json.push_str("    ]\n  }\n}\n");
     fs::write("BENCH_e1.json", &json).expect("BENCH_e1.json must be writable");
     println!("\nwrote BENCH_e1.json");
 
@@ -96,6 +162,14 @@ fn main() {
         assert!(
             speedup >= 10.0,
             "acceptance: incremental engine must be >= 10x the baseline at n={} (got {speedup:.1}x)",
+            last.n
+        );
+    }
+    if let Some(last) = probe_rows.last() {
+        let speedup = last.refreeze_ms / last.session_ms;
+        assert!(
+            speedup >= 5.0,
+            "acceptance: the frozen session must be >= 5x per-call freezing at n={} (got {speedup:.1}x)",
             last.n
         );
     }

@@ -1,10 +1,11 @@
-//! Prints the result tables of experiments E1–E6 (see `EXPERIMENTS.md`).
+//! Prints the result tables of experiments E1–E7 (see `EXPERIMENTS.md`).
 //!
 //! Usage:
 //!
 //! ```text
 //! cargo run --release -p avglocal-bench --bin experiments             # all experiments
 //! cargo run --release -p avglocal-bench --bin experiments -- --e3    # only E3
+//! cargo run --release -p avglocal-bench --bin experiments -- --e7    # cross-topology sweep
 //! cargo run --release -p avglocal-bench --bin experiments -- --quick # reduced sizes
 //! cargo run --release -p avglocal-bench --bin experiments -- --csv   # CSV output
 //! ```
@@ -18,17 +19,18 @@ fn main() {
     let quick = args.iter().any(|a| a == "--quick");
     let csv = args.iter().any(|a| a == "--csv");
     let selected: Vec<usize> =
-        (1..=6).filter(|i| args.iter().any(|a| a == &format!("--e{i}"))).collect();
+        (1..=7).filter(|i| args.iter().any(|a| a == &format!("--e{i}"))).collect();
     let run_all = selected.is_empty();
 
     type TableBuilder = fn(bool) -> avglocal::report::Table;
-    let builders: [(usize, TableBuilder); 6] = [
+    let builders: [(usize, TableBuilder); 7] = [
         (1, tables::table_e1),
         (2, tables::table_e2),
         (3, tables::table_e3),
         (4, tables::table_e4),
         (5, tables::table_e5),
         (6, tables::table_e6),
+        (7, tables::table_e7),
     ];
 
     println!("avglocal experiment harness ({} sizes)\n", if quick { "quick" } else { "full" });
@@ -44,13 +46,16 @@ fn main() {
         }
     }
 
-    // The figures accompany E1 and E3; skip them in CSV mode.
+    // The figures accompany E1, E3 and E7; skip them in CSV mode.
     if !csv {
         if run_all || selected.contains(&1) {
             println!("{}", avglocal_bench::figure_f1(quick));
         }
         if run_all || selected.contains(&3) {
             println!("{}", avglocal_bench::figure_f2(quick));
+        }
+        if run_all || selected.contains(&7) {
+            println!("{}", avglocal_bench::figure_f3(quick));
         }
     }
 }

@@ -15,6 +15,7 @@
 //! | E4 | Theorem 1: average colouring radius Ω(log* n) | `benches/e4_lower_bound.rs` |
 //! | E5 | random identifiers (Section 4 further work) | `benches/e5_random_ids.rs` |
 //! | E6 | motivating applications (Section 1) | `benches/e6_applications.rs` |
+//! | E7 | node-averaged complexity beyond the ring (BGKO line) | `bin/experiments.rs --e7` |
 //!
 //! The Criterion benches measure the *simulator's* throughput on each
 //! experiment workload; the actual result tables (who wins, by how much) are
@@ -28,5 +29,6 @@
 pub mod tables;
 
 pub use tables::{
-    all_tables, figure_f1, figure_f2, table_e1, table_e2, table_e3, table_e4, table_e5, table_e6,
+    all_tables, figure_f1, figure_f2, figure_f3, table_e1, table_e2, table_e3, table_e4, table_e5,
+    table_e6, table_e7,
 };

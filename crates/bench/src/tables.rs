@@ -266,6 +266,96 @@ pub fn table_e6(quick: bool) -> Table {
     table
 }
 
+/// A named topology family, parameterised by the instance size (so `G(n, p)`
+/// can scale its edge probability with `n`).
+type TopologyFamily = (&'static str, fn(usize) -> Topology);
+
+/// The topology families swept by E7, with a `G(n, p)` family seeded above
+/// the connectivity threshold for every size the table uses.
+fn e7_topologies() -> Vec<TopologyFamily> {
+    vec![
+        ("cycle", |_n| Topology::Cycle),
+        ("path", |_n| Topology::Path),
+        ("tree", |_n| Topology::CompleteBinaryTree),
+        ("grid", |_n| Topology::Grid),
+        ("torus", |_n| Topology::Torus),
+        ("gnp", |n| Topology::gnp_connected(n, 7)),
+    ]
+}
+
+/// E7 — node-averaged complexity beyond the ring (the BGKO line).
+///
+/// The paper proves its separation on the cycle; the follow-up work
+/// (Feuilloley 2017, Rozhoň 2023) asks how the node-averaged measure behaves
+/// on trees, grids and general graphs. For each topology family and size:
+/// the average and worst-case radius of the largest-ID problem under random
+/// identifiers, and the separation factor. Low-diameter families (trees,
+/// `G(n, p)`) compress the worst case, so the separation shrinks — the
+/// qualitative shape the table is after.
+#[must_use]
+pub fn table_e7(quick: bool) -> Table {
+    let sizes: Vec<usize> = if quick { vec![16, 64] } else { vec![64, 256, 1024] };
+    let trials = if quick { 2 } else { 5 };
+    let mut table = Table::new(
+        "E7: largest ID across topologies — node-averaged vs worst case",
+        &[
+            "topology",
+            "n",
+            "avg radius (random ids)",
+            "worst-case radius",
+            "total radius",
+            "separation (worst/avg)",
+        ],
+    );
+    for (name, family) in e7_topologies() {
+        for &n in &sizes {
+            let topology = family(n);
+            let result = Sweep::on(Problem::LargestId, topology, vec![n])
+                .with_policy(AssignmentPolicy::Random { base_seed: 11 })
+                .with_trials(trials)
+                .run()
+                .expect("largest-ID sweep runs on every connected E7 topology");
+            let row = &result.rows[0];
+            table.push_row(vec![
+                name.to_string(),
+                n.to_string(),
+                fmt_float(row.average),
+                fmt_float(row.worst_case),
+                fmt_float(row.total),
+                format!("{:.1}x", row.separation()),
+            ]);
+        }
+    }
+    table
+}
+
+/// Figure F3 — the E7 node-averaged curves: the average largest-ID radius per
+/// topology family as the size grows. The ring and the path sit on the
+/// paper's logarithmic curve; the low-diameter families stay flat.
+#[must_use]
+pub fn figure_f3(quick: bool) -> String {
+    let sizes: Vec<usize> = if quick { vec![16, 64] } else { vec![64, 256, 1024] };
+    let labels: Vec<String> = sizes.iter().map(ToString::to_string).collect();
+    let mut series = Vec::new();
+    for (name, family) in e7_topologies() {
+        let mut averages = Vec::new();
+        for &n in &sizes {
+            let profile = run_on_topology(
+                Problem::LargestId,
+                &family(n),
+                n,
+                &IdAssignment::Shuffled { seed: 1 },
+            )
+            .expect("largest ID runs on every connected E7 topology");
+            averages.push(profile.average());
+        }
+        series.push(avglocal::figure::Series::new(format!("{name} average radius"), averages));
+    }
+    avglocal::figure::AsciiChart::new("F3: largest-ID average radius across topologies", labels)
+        .with_height(12)
+        .render(&series)
+}
+
 /// Figure F1 — the E1 separation as an ASCII chart: the measured average
 /// radius (random identifiers) versus the worst-case-over-permutations
 /// average and the classical worst case, on a shared linear scale. The
@@ -340,6 +430,7 @@ pub fn all_tables(quick: bool) -> Vec<Table> {
         table_e4(quick),
         table_e5(quick),
         table_e6(quick),
+        table_e7(quick),
     ]
 }
 
@@ -382,6 +473,42 @@ mod tests {
     }
 
     #[test]
+    fn e7_quick_covers_every_topology() {
+        let t = table_e7(true);
+        // Two sizes per family.
+        assert_eq!(t.row_count(), 12);
+        let text = t.to_text();
+        for name in ["cycle", "path", "tree", "grid", "torus", "gnp"] {
+            assert!(text.contains(name), "missing {name}");
+        }
+    }
+
+    #[test]
+    fn e7_cycle_rows_match_the_independent_cycle_run() {
+        // The cross-topology sweep on Topology::Cycle must agree with an
+        // independently reconstructed per-trial aggregate built from the
+        // cycle-only run_on_cycle entry point. (The full bit-for-bit property
+        // test lives in tests/tests/topology_sweeps.rs.)
+        let n = 16;
+        let policy = AssignmentPolicy::Random { base_seed: 11 };
+        let via_topology = Sweep::on(Problem::LargestId, Topology::Cycle, vec![n])
+            .with_policy(policy.clone())
+            .with_trials(2)
+            .run()
+            .unwrap();
+        let mut worst_sum = 0.0;
+        let mut average_sum = 0.0;
+        for trial in 0..2 {
+            let profile =
+                run_on_cycle(Problem::LargestId, n, &policy.assignment_for_trial(trial)).unwrap();
+            worst_sum += profile.max() as f64;
+            average_sum += profile.average();
+        }
+        assert_eq!(via_topology.rows[0].worst_case, worst_sum / 2.0);
+        assert_eq!(via_topology.rows[0].average, average_sum / 2.0);
+    }
+
+    #[test]
     fn e1_expected_model_is_logarithmic() {
         assert_eq!(expected_e1_model(), GrowthModel::Logarithmic);
     }
@@ -394,5 +521,8 @@ mod tests {
         let f2 = figure_f2(true);
         assert!(f2.contains("F2"));
         assert!(f2.contains("log*(n)"));
+        let f3 = figure_f3(true);
+        assert!(f3.contains("F3"));
+        assert!(f3.contains("grid average radius"));
     }
 }

@@ -1,13 +1,27 @@
-//! The experiment harness: sweeps over sizes and identifier assignments.
+//! The experiment harness: sweeps over sizes, topologies and identifier
+//! assignments.
 //!
-//! Every experiment in `EXPERIMENTS.md` is a sweep: pick a problem, a list of
-//! ring sizes, and a policy for assigning identifiers; run the algorithm;
-//! record the worst-case and average radii. The harness keeps the runs
-//! deterministic (seeds are explicit) so the reported tables are exactly
-//! reproducible.
+//! Every experiment in `EXPERIMENTS.md` is a sweep: pick a problem, a
+//! [`Topology`], a list of sizes, and a policy for assigning identifiers; run
+//! the algorithm; record the worst-case and average radii. The harness keeps
+//! the runs deterministic (seeds are explicit) so the reported tables are
+//! exactly reproducible.
+//!
+//! The paper states its results on the ring, so the cycle-specific entry
+//! points ([`run_on_cycle`], [`cycle_with_assignment`],
+//! [`random_permutation_study`]) remain as thin wrappers over the
+//! topology-parameterised API; they produce bit-for-bit the same values as
+//! before the generalisation.
+//!
+//! Within a sweep, the topology instance is built **once per size** and only
+//! the identifier assignment varies across trials — for random graphs this is
+//! a semantic requirement, not just an optimisation: the trials of a row must
+//! measure identifier randomness on one fixed graph, not mix draws of the
+//! graph itself.
 
 use avglocal_analysis::Summary;
-use avglocal_graph::{generators, Graph, IdAssignment};
+use avglocal_graph::{derive_seed, CsrGraph, Graph, IdAssignment, Topology};
+use avglocal_runtime::FrozenExecutor;
 use rayon::prelude::*;
 
 use crate::error::{CoreError, Result};
@@ -35,22 +49,29 @@ pub enum AssignmentPolicy {
 
 impl AssignmentPolicy {
     /// The assignment used for trial number `trial`.
+    ///
+    /// Per-trial seeds are a SplitMix64-style mix of `(base_seed, trial)`
+    /// (see [`derive_seed`]), so adjacent base seeds draw unrelated
+    /// permutation streams — under the old additive derivation, base 0 /
+    /// trial 1 and base 1 / trial 0 were the *same* permutation.
     #[must_use]
     pub fn assignment_for_trial(&self, trial: usize) -> IdAssignment {
         match self {
             AssignmentPolicy::Identity => IdAssignment::Identity,
             AssignmentPolicy::Reversed => IdAssignment::Reversed,
             AssignmentPolicy::Random { base_seed } => {
-                IdAssignment::Shuffled { seed: base_seed.wrapping_add(trial as u64) }
+                IdAssignment::Shuffled { seed: derive_seed(*base_seed, trial as u64) }
             }
             AssignmentPolicy::Fixed(a) => a.clone(),
         }
     }
 }
 
-/// One row of a sweep: a single ring size, aggregated over the trials.
+/// One row of a sweep: a single size, aggregated over the trials.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SweepRow {
+    /// The topology the row was measured on.
+    pub topology: Topology,
     /// Number of nodes.
     pub n: usize,
     /// Number of trials aggregated in this row.
@@ -82,6 +103,8 @@ impl SweepRow {
 pub struct SweepResult {
     /// The problem that was swept.
     pub problem: Problem,
+    /// The topology the sweep ran on.
+    pub topology: Topology,
     /// One row per size, in the order the sizes were given.
     pub rows: Vec<SweepRow>,
 }
@@ -110,16 +133,38 @@ impl SweepResult {
 #[derive(Debug, Clone, PartialEq)]
 pub struct Sweep {
     problem: Problem,
+    topology: Topology,
     sizes: Vec<usize>,
     policy: AssignmentPolicy,
     trials: usize,
 }
 
 impl Sweep {
-    /// Creates a sweep of `problem` over the given ring sizes.
+    /// Creates a sweep of `problem` over the given ring sizes (the paper's
+    /// setting; use [`Sweep::on`] or [`Sweep::with_topology`] for other
+    /// families).
     #[must_use]
     pub fn new(problem: Problem, sizes: Vec<usize>) -> Self {
-        Sweep { problem, sizes, policy: AssignmentPolicy::Random { base_seed: 0 }, trials: 1 }
+        Sweep::on(problem, Topology::Cycle, sizes)
+    }
+
+    /// Creates a sweep of `problem` over the given sizes of `topology`.
+    #[must_use]
+    pub fn on(problem: Problem, topology: Topology, sizes: Vec<usize>) -> Self {
+        Sweep {
+            problem,
+            topology,
+            sizes,
+            policy: AssignmentPolicy::Random { base_seed: 0 },
+            trials: 1,
+        }
+    }
+
+    /// Sets the topology family (default: the cycle).
+    #[must_use]
+    pub fn with_topology(mut self, topology: Topology) -> Self {
+        self.topology = topology;
+        self
     }
 
     /// Sets the identifier-assignment policy (default: random with seed 0).
@@ -140,8 +185,11 @@ impl Sweep {
     ///
     /// # Errors
     ///
-    /// Returns [`CoreError::InvalidConfiguration`] for an empty size list or
-    /// zero trials, and propagates any execution or validation error.
+    /// Returns [`CoreError::InvalidConfiguration`] for an empty size list,
+    /// zero trials, or a ring-only problem on a non-cycle topology, and
+    /// propagates any construction, execution or validation error (including
+    /// [`avglocal_graph::GraphError::Disconnected`] when a `G(n, p)` family
+    /// cannot produce a connected instance).
     pub fn run(&self) -> Result<SweepResult> {
         if self.sizes.is_empty() {
             return Err(CoreError::InvalidConfiguration {
@@ -153,8 +201,16 @@ impl Sweep {
                 reason: "sweep needs at least one trial".to_string(),
             });
         }
+        check_problem_supports_topology(self.problem, &self.topology)?;
         let mut rows = Vec::with_capacity(self.sizes.len());
         for &n in &self.sizes {
+            // One instance per size: trials vary the identifiers, never the
+            // graph (essential for random families, cheaper for all). For
+            // ball-view problems the adjacency is also frozen once; each
+            // trial clones the flat snapshot and swaps the identifier table
+            // instead of re-freezing.
+            let base = self.topology.build(n)?;
+            let frozen_base = self.problem.uses_ball_view().then(|| base.freeze());
             // Trials are independent and their seeds explicit, so they run in
             // parallel; results are collected in trial order, keeping every
             // aggregate bit-for-bit identical to a sequential sweep.
@@ -162,7 +218,9 @@ impl Sweep {
                 .into_par_iter()
                 .map(|trial| {
                     let assignment = self.policy.assignment_for_trial(trial);
-                    let profile = run_on_cycle(self.problem, n, &assignment)?;
+                    let mut graph = base.clone();
+                    assignment.apply(&mut graph)?;
+                    let profile = run_trial(self.problem, &graph, frozen_base.as_ref())?;
                     let pair = MeasurePair::of(&profile);
                     Ok((pair.worst_case, pair.average, profile.total() as f64))
                 })
@@ -178,6 +236,7 @@ impl Sweep {
             }
             let average_summary = Summary::from_values(&averages);
             rows.push(SweepRow {
+                topology: self.topology.clone(),
                 n,
                 trials: self.trials,
                 worst_case: mean(&worst),
@@ -186,8 +245,37 @@ impl Sweep {
                 total: mean(&totals),
             });
         }
-        Ok(SweepResult { problem: self.problem, rows })
+        Ok(SweepResult { problem: self.problem, topology: self.topology.clone(), rows })
     }
+}
+
+/// Runs `problem` on a size-`n` instance of `topology` with the given
+/// identifier assignment and returns the radius profile.
+///
+/// # Errors
+///
+/// Propagates graph-construction and execution errors.
+pub fn run_on_topology(
+    problem: Problem,
+    topology: &Topology,
+    n: usize,
+    assignment: &IdAssignment,
+) -> Result<RadiusProfile> {
+    check_problem_supports_topology(problem, topology)?;
+    let graph = topology_with_assignment(topology, n, assignment)?;
+    problem.run(&graph)
+}
+
+/// Rejects ring-only problems on non-cycle topologies, so every entry point
+/// of the harness fails with the same clear configuration error instead of
+/// letting a ring-only algorithm loose on the wrong family.
+fn check_problem_supports_topology(problem: Problem, topology: &Topology) -> Result<()> {
+    if problem.requires_cycle() && !topology.is_cycle() {
+        return Err(CoreError::InvalidConfiguration {
+            reason: format!("problem '{}' only runs on cycles, not on '{topology}'", problem.key()),
+        });
+    }
+    Ok(())
 }
 
 /// Runs `problem` on an `n`-cycle with the given identifier assignment and
@@ -201,8 +289,22 @@ pub fn run_on_cycle(
     n: usize,
     assignment: &IdAssignment,
 ) -> Result<RadiusProfile> {
-    let graph = cycle_with_assignment(n, assignment)?;
-    problem.run(&graph)
+    run_on_topology(problem, &Topology::Cycle, n, assignment)
+}
+
+/// Builds a size-`n` instance of `topology` and applies `assignment` to it.
+///
+/// # Errors
+///
+/// Propagates graph-construction errors.
+pub fn topology_with_assignment(
+    topology: &Topology,
+    n: usize,
+    assignment: &IdAssignment,
+) -> Result<Graph> {
+    let mut graph = topology.build(n)?;
+    assignment.apply(&mut graph)?;
+    Ok(graph)
 }
 
 /// Builds an `n`-cycle and applies `assignment` to it.
@@ -211,16 +313,16 @@ pub fn run_on_cycle(
 ///
 /// Propagates graph-construction errors (for example `n < 3`).
 pub fn cycle_with_assignment(n: usize, assignment: &IdAssignment) -> Result<Graph> {
-    let mut graph = generators::cycle(n)?;
-    assignment.apply(&mut graph)?;
-    Ok(graph)
+    topology_with_assignment(&Topology::Cycle, n, assignment)
 }
 
 /// The Section 4 "further work" study: the distribution of both measures when
 /// the identifier permutation is uniformly random.
 #[derive(Debug, Clone, PartialEq)]
 pub struct RandomPermutationStudy {
-    /// Ring size.
+    /// The topology the permutations were sampled on.
+    pub topology: Topology,
+    /// Instance size.
     pub n: usize,
     /// Number of sampled permutations.
     pub samples: usize,
@@ -228,6 +330,55 @@ pub struct RandomPermutationStudy {
     pub average_radius: Summary,
     /// Summary of the per-sample worst-case radii.
     pub worst_case_radius: Summary,
+}
+
+/// Samples `samples` uniformly random identifier permutations of a size-`n`
+/// instance of `topology`, runs `problem` on each, and summarises both
+/// measures. All samples share the same instance; only the identifiers vary.
+///
+/// # Errors
+///
+/// Propagates construction and execution errors; returns
+/// [`CoreError::InvalidConfiguration`] when `samples == 0`.
+pub fn random_permutation_study_on(
+    problem: Problem,
+    topology: &Topology,
+    n: usize,
+    samples: usize,
+    base_seed: u64,
+) -> Result<RandomPermutationStudy> {
+    if samples == 0 {
+        return Err(CoreError::InvalidConfiguration {
+            reason: "the random-permutation study needs at least one sample".to_string(),
+        });
+    }
+    check_problem_supports_topology(problem, topology)?;
+    let base = topology.build(n)?;
+    let frozen_base = problem.uses_ball_view().then(|| base.freeze());
+    let per_sample: Vec<Result<(f64, f64)>> = (0..samples)
+        .into_par_iter()
+        .map(|i| {
+            let assignment = IdAssignment::Shuffled { seed: derive_seed(base_seed, i as u64) };
+            let mut graph = base.clone();
+            assignment.apply(&mut graph)?;
+            let profile = run_trial(problem, &graph, frozen_base.as_ref())?;
+            Ok((profile.average(), profile.max() as f64))
+        })
+        .collect();
+    let mut averages = Vec::with_capacity(samples);
+    let mut worsts = Vec::with_capacity(samples);
+    for result in per_sample {
+        let (average, worst) = result?;
+        averages.push(average);
+        worsts.push(worst);
+    }
+    Ok(RandomPermutationStudy {
+        topology: topology.clone(),
+        n,
+        samples,
+        average_radius: Summary::from_values(&averages),
+        worst_case_radius: Summary::from_values(&worsts),
+    })
 }
 
 /// Samples `samples` uniformly random identifier permutations of an
@@ -243,32 +394,28 @@ pub fn random_permutation_study(
     samples: usize,
     base_seed: u64,
 ) -> Result<RandomPermutationStudy> {
-    if samples == 0 {
-        return Err(CoreError::InvalidConfiguration {
-            reason: "the random-permutation study needs at least one sample".to_string(),
-        });
+    random_permutation_study_on(problem, &Topology::Cycle, n, samples, base_seed)
+}
+
+/// Runs one trial of `problem` on `graph`, routing ball-view problems
+/// through a [`FrozenExecutor`] session built from the shared per-size
+/// snapshot. Cloning a [`CsrGraph`] shares the frozen adjacency and copies
+/// only the `O(n)` identifier table, so per-trial setup never re-freezes the
+/// `O(n + m)` structure.
+fn run_trial(
+    problem: Problem,
+    graph: &Graph,
+    frozen_base: Option<&CsrGraph>,
+) -> Result<RadiusProfile> {
+    match frozen_base {
+        Some(csr) => {
+            let mut session = FrozenExecutor::from_csr(csr.clone());
+            let identifiers: Vec<_> = graph.identifiers().collect();
+            session.set_identifiers(&identifiers);
+            problem.run_with_session(graph, &session)
+        }
+        None => problem.run(graph),
     }
-    let per_sample: Vec<Result<(f64, f64)>> = (0..samples)
-        .into_par_iter()
-        .map(|i| {
-            let assignment = IdAssignment::Shuffled { seed: base_seed.wrapping_add(i as u64) };
-            let profile = run_on_cycle(problem, n, &assignment)?;
-            Ok((profile.average(), profile.max() as f64))
-        })
-        .collect();
-    let mut averages = Vec::with_capacity(samples);
-    let mut worsts = Vec::with_capacity(samples);
-    for result in per_sample {
-        let (average, worst) = result?;
-        averages.push(average);
-        worsts.push(worst);
-    }
-    Ok(RandomPermutationStudy {
-        n,
-        samples,
-        average_radius: Summary::from_values(&averages),
-        worst_case_radius: Summary::from_values(&worsts),
-    })
 }
 
 fn mean(values: &[f64]) -> f64 {
@@ -292,8 +439,10 @@ mod tests {
             .unwrap();
         assert_eq!(result.rows.len(), 3);
         assert_eq!(result.sizes(), vec![8, 16, 32]);
+        assert_eq!(result.topology, Topology::Cycle);
         for row in &result.rows {
             assert_eq!(row.trials, 3);
+            assert_eq!(row.topology, Topology::Cycle);
             assert!(row.worst_case >= row.average);
             assert!(row.separation() >= 1.0);
         }
@@ -305,6 +454,52 @@ mod tests {
     fn sweep_validates_configuration() {
         assert!(Sweep::new(Problem::LargestId, vec![]).run().is_err());
         assert!(Sweep::new(Problem::LargestId, vec![8]).with_trials(0).run().is_err());
+    }
+
+    #[test]
+    fn ring_only_problems_reject_other_topologies() {
+        let err = Sweep::on(Problem::ThreeColoring, Topology::Grid, vec![16]).run().unwrap_err();
+        assert!(matches!(err, CoreError::InvalidConfiguration { .. }));
+        assert!(err.to_string().contains("only runs on cycles"));
+        // Every entry point of the harness enforces the same guard.
+        let err = run_on_topology(Problem::Mis, &Topology::Grid, 16, &IdAssignment::Identity)
+            .unwrap_err();
+        assert!(err.to_string().contains("only runs on cycles"));
+        let err = random_permutation_study_on(
+            Problem::LandmarkColoring,
+            &Topology::CompleteBinaryTree,
+            16,
+            2,
+            0,
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("only runs on cycles"));
+        // The cycle variant of the same configuration is fine.
+        assert!(Sweep::on(Problem::ThreeColoring, Topology::Cycle, vec![16]).run().is_ok());
+    }
+
+    #[test]
+    fn sweep_runs_on_every_deterministic_topology() {
+        for topology in Topology::DETERMINISTIC {
+            let n = if topology == Topology::Torus { 16 } else { 15 };
+            let result = Sweep::on(Problem::LargestId, topology.clone(), vec![n])
+                .with_policy(AssignmentPolicy::Random { base_seed: 2 })
+                .with_trials(2)
+                .run()
+                .unwrap();
+            assert_eq!(result.rows.len(), 1, "{topology}");
+            assert_eq!(result.rows[0].n, n, "{topology}");
+            assert_eq!(result.rows[0].topology, topology);
+            assert!(result.rows[0].worst_case >= result.rows[0].average, "{topology}");
+        }
+    }
+
+    #[test]
+    fn disconnected_gnp_family_fails_loudly() {
+        let err = Sweep::on(Problem::LargestId, Topology::Gnp { p: 0.0, seed: 1 }, vec![8])
+            .run()
+            .unwrap_err();
+        assert!(matches!(err, CoreError::Graph(avglocal_graph::GraphError::Disconnected { .. })));
     }
 
     #[test]
@@ -328,20 +523,52 @@ mod tests {
         assert_eq!(AssignmentPolicy::Reversed.assignment_for_trial(0), IdAssignment::Reversed);
         assert_eq!(
             AssignmentPolicy::Random { base_seed: 10 }.assignment_for_trial(2),
-            IdAssignment::Shuffled { seed: 12 }
+            IdAssignment::Shuffled { seed: derive_seed(10, 2) }
         );
         let fixed = AssignmentPolicy::Fixed(IdAssignment::Rotated { shift: 1 });
         assert_eq!(fixed.assignment_for_trial(5), IdAssignment::Rotated { shift: 1 });
     }
 
     #[test]
+    fn adjacent_base_seeds_draw_unrelated_streams() {
+        // The additive scheme aliased base b / trial t with base b+1 /
+        // trial t-1; the mixed derivation must keep every such pair distinct.
+        for base in 0u64..8 {
+            for trial in 1usize..8 {
+                let a = AssignmentPolicy::Random { base_seed: base }.assignment_for_trial(trial);
+                let b = AssignmentPolicy::Random { base_seed: base + 1 }
+                    .assignment_for_trial(trial - 1);
+                assert_ne!(a, b, "base {base}, trial {trial}");
+            }
+        }
+    }
+
+    #[test]
     fn random_study_brackets_the_measures() {
         let study = random_permutation_study(Problem::LargestId, 64, 10, 7).unwrap();
         assert_eq!(study.samples, 10);
+        assert_eq!(study.topology, Topology::Cycle);
         // The worst-case radius is always n/2 = 32 for largest ID.
         assert_eq!(study.worst_case_radius.mean, 32.0);
         assert!(study.average_radius.mean < 10.0);
         assert!(study.average_radius.min >= 1.0);
+    }
+
+    #[test]
+    fn random_study_runs_off_ring() {
+        let study = random_permutation_study_on(
+            Problem::LargestId,
+            &Topology::CompleteBinaryTree,
+            31,
+            6,
+            3,
+        )
+        .unwrap();
+        assert_eq!(study.samples, 6);
+        assert_eq!(study.topology, Topology::CompleteBinaryTree);
+        // On a depth-4 complete binary tree the eccentricity is at most 8.
+        assert!(study.worst_case_radius.max <= 8.0);
+        assert!(study.average_radius.mean <= study.worst_case_radius.mean);
     }
 
     #[test]
@@ -356,6 +583,9 @@ mod tests {
             .run()
             .unwrap();
         assert_eq!(result.average_column().len(), 2);
+        // Exact deterministic values for base seed 5 under derive_seed-based
+        // trial seeds (every node of these Cole-Vishkin runs stops at 7).
         assert_eq!(result.worst_case_column(), vec![7.0, 7.0]);
+        assert_eq!(result.average_column(), vec![7.0, 7.0]);
     }
 }

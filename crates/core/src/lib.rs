@@ -39,8 +39,9 @@
 //! * [`Problem`] — algorithm + verifier bundles for every problem studied;
 //! * [`RadiusProfile`] / [`Measure`] / [`MeasurePair`] — per-node radii and
 //!   the two measures compared by the paper;
-//! * [`experiment`] — size sweeps, identifier-assignment policies, and the
-//!   random-permutation study of Section 4;
+//! * [`experiment`] — size sweeps over any [`graph::Topology`] (cycles,
+//!   paths, trees, grids, tori, `G(n, p)`), identifier-assignment policies,
+//!   and the random-permutation study of Section 4;
 //! * [`adversary`] — exhaustive and hill-climbing searches for worst-case
 //!   identifier assignments, plus the Section 3 slice construction;
 //! * [`theory`] — the paper's predicted curves (`a(n)`, `log*`, Cole–Vishkin
@@ -67,8 +68,9 @@ pub mod theory;
 pub use adversary::{section3_assignment, AdversaryResult, AdversarySearch};
 pub use error::{CoreError, Result};
 pub use experiment::{
-    cycle_with_assignment, random_permutation_study, run_on_cycle, AssignmentPolicy,
-    RandomPermutationStudy, Sweep, SweepResult, SweepRow,
+    cycle_with_assignment, random_permutation_study, random_permutation_study_on, run_on_cycle,
+    run_on_topology, topology_with_assignment, AssignmentPolicy, RandomPermutationStudy, Sweep,
+    SweepResult, SweepRow,
 };
 pub use measure::{Measure, MeasurePair};
 pub use problem::Problem;
@@ -84,7 +86,8 @@ pub use avglocal_runtime as runtime;
 pub mod prelude {
     pub use crate::adversary::{section3_assignment, AdversarySearch};
     pub use crate::experiment::{
-        cycle_with_assignment, random_permutation_study, run_on_cycle, AssignmentPolicy, Sweep,
+        cycle_with_assignment, random_permutation_study, random_permutation_study_on, run_on_cycle,
+        run_on_topology, topology_with_assignment, AssignmentPolicy, Sweep,
     };
     pub use crate::figure::{AsciiChart, Series};
     pub use crate::measure::{Measure, MeasurePair};
@@ -93,8 +96,10 @@ pub mod prelude {
     pub use crate::report::Table;
     pub use crate::schedule::{expected_invalidated_nodes, schedule_radii};
     pub use crate::theory;
-    pub use avglocal_graph::{generators, Graph, IdAssignment, Identifier, NodeId, Permutation};
-    pub use avglocal_runtime::{BallExecutor, Knowledge, SyncExecutor};
+    pub use avglocal_graph::{
+        generators, Graph, IdAssignment, Identifier, NodeId, Permutation, Topology,
+    };
+    pub use avglocal_runtime::{BallExecutor, FrozenExecutor, Knowledge, SyncExecutor};
 }
 
 #[cfg(test)]

@@ -11,7 +11,7 @@ use avglocal_algorithms::{
     LandmarkColoring, LargestId,
 };
 use avglocal_graph::Graph;
-use avglocal_runtime::{BallExecutor, Knowledge};
+use avglocal_runtime::{BallAlgorithm, BallExecution, BallExecutor, FrozenExecutor, Knowledge};
 
 use crate::error::{CoreError, Result};
 use crate::profile::RadiusProfile;
@@ -83,6 +83,25 @@ impl Problem {
         )
     }
 
+    /// Returns `true` when the problem's algorithm runs through the ball
+    /// view ([`BallExecutor`] / [`FrozenExecutor`]) — these are the problems
+    /// whose sweep trials can share one frozen adjacency snapshot.
+    ///
+    /// The match is deliberately exhaustive (no wildcard) and mirrors which
+    /// arms of `run_inner` go through `ball_run`: adding a variant forces
+    /// both places to classify it.
+    #[must_use]
+    pub fn uses_ball_view(&self) -> bool {
+        match self {
+            Problem::LargestId
+            | Problem::FullInfoLargestId
+            | Problem::KnowTheLeader
+            | Problem::LandmarkColoring
+            | Problem::FullInfoColoring => true,
+            Problem::ThreeColoring | Problem::Mis | Problem::Matching => false,
+        }
+    }
+
     /// Runs the problem's algorithm on `graph`, verifies the output, and
     /// returns the radius profile.
     ///
@@ -93,20 +112,69 @@ impl Problem {
     /// [`CoreError::InvalidOutput`] when the verifier rejects the output —
     /// the latter should never happen and indicates a bug.
     pub fn run(&self, graph: &Graph) -> Result<RadiusProfile> {
+        self.run_inner(graph, None)
+    }
+
+    /// Like [`Problem::run`], but ball-view problems execute on `session`'s
+    /// frozen snapshot instead of freezing `graph` per call. The session must
+    /// mirror `graph` (same adjacency and identifiers) — the sweep harness
+    /// maintains this by cloning one frozen base per size and swapping the
+    /// identifier table per trial. Round-based problems fall back to the
+    /// graph; results are identical either way.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Problem::run`].
+    ///
+    /// # Panics
+    ///
+    /// Panics when `session` and `graph` disagree on the node count.
+    pub fn run_with_session(
+        &self,
+        graph: &Graph,
+        session: &FrozenExecutor,
+    ) -> Result<RadiusProfile> {
+        assert_eq!(
+            session.node_count(),
+            graph.node_count(),
+            "the frozen session must mirror the graph it stands in for"
+        );
+        self.run_inner(graph, Some(session))
+    }
+
+    fn run_inner(&self, graph: &Graph, session: Option<&FrozenExecutor>) -> Result<RadiusProfile> {
+        /// Runs a ball algorithm on the session when one is available,
+        /// freezing the graph per call otherwise.
+        fn ball_run<A>(
+            graph: &Graph,
+            session: Option<&FrozenExecutor>,
+            algorithm: &A,
+            knowledge: Knowledge,
+        ) -> avglocal_runtime::Result<BallExecution<A::Output>>
+        where
+            A: BallAlgorithm + Sync,
+            A::Output: Send,
+        {
+            match session {
+                Some(frozen) => frozen.run(algorithm, knowledge),
+                None => BallExecutor::new().run(graph, algorithm, knowledge),
+            }
+        }
+
         let knowledge = Knowledge::none();
         match self {
             Problem::LargestId => {
-                let run = BallExecutor::new().run(graph, &LargestId, knowledge)?;
+                let run = ball_run(graph, session, &LargestId, knowledge)?;
                 self.check(verify::is_correct_largest_id(graph, run.outputs()))?;
                 Ok(RadiusProfile::from_ball_execution(&run))
             }
             Problem::FullInfoLargestId => {
-                let run = BallExecutor::new().run(graph, &FullInfoLargestId, knowledge)?;
+                let run = ball_run(graph, session, &FullInfoLargestId, knowledge)?;
                 self.check(verify::is_correct_largest_id(graph, run.outputs()))?;
                 Ok(RadiusProfile::from_ball_execution(&run))
             }
             Problem::KnowTheLeader => {
-                let run = BallExecutor::new().run(graph, &KnowTheLeader, knowledge)?;
+                let run = ball_run(graph, session, &KnowTheLeader, knowledge)?;
                 let expected = graph
                     .max_identifier_node()
                     .map(|v| graph.identifier(v))
@@ -122,12 +190,12 @@ impl Problem {
                 Ok(RadiusProfile::new(rounds))
             }
             Problem::LandmarkColoring => {
-                let run = BallExecutor::new().run(graph, &LandmarkColoring, knowledge)?;
+                let run = ball_run(graph, session, &LandmarkColoring, knowledge)?;
                 self.check(verify::is_proper_coloring(graph, run.outputs(), 4))?;
                 Ok(RadiusProfile::from_ball_execution(&run))
             }
             Problem::FullInfoColoring => {
-                let run = BallExecutor::new().run(graph, &FullInfoColoring, knowledge)?;
+                let run = ball_run(graph, session, &FullInfoColoring, knowledge)?;
                 self.check(verify::is_proper_coloring(graph, run.outputs(), 3))?;
                 Ok(RadiusProfile::from_ball_execution(&run))
             }

@@ -10,6 +10,8 @@
 //! preserved exactly, so anything derived from a CSR snapshot matches the
 //! `Graph`-based code paths node for node.
 
+use std::sync::Arc;
+
 use crate::{Graph, Identifier, NodeId};
 
 /// A frozen adjacency snapshot of a [`Graph`] in compressed sparse row form.
@@ -34,12 +36,16 @@ use crate::{Graph, Identifier, NodeId};
 /// # Ok(())
 /// # }
 /// ```
+/// The adjacency is immutable once frozen and shared behind an [`Arc`], so
+/// cloning a snapshot — the per-trial operation of an identifier-assignment
+/// sweep, which clones and then calls [`CsrGraph::set_identifiers`] — copies
+/// only the `O(n)` identifier table, never the `O(n + m)` edge arrays.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CsrGraph {
     /// `offsets[v] .. offsets[v + 1]` brackets node `v`'s slice of `targets`.
-    offsets: Vec<u32>,
+    offsets: Arc<[u32]>,
     /// Concatenated neighbour lists, in port order.
-    targets: Vec<u32>,
+    targets: Arc<[u32]>,
     /// Identifier of each node, indexed by node.
     identifiers: Vec<Identifier>,
 }
@@ -73,7 +79,11 @@ impl CsrGraph {
             }
             offsets.push(targets.len() as u32);
         }
-        CsrGraph { offsets, targets, identifiers: graph.identifiers().collect() }
+        CsrGraph {
+            offsets: offsets.into(),
+            targets: targets.into(),
+            identifiers: graph.identifiers().collect(),
+        }
     }
 
     /// Number of nodes.
@@ -117,6 +127,26 @@ impl CsrGraph {
     pub fn node_id(&self, v: u32) -> NodeId {
         NodeId::new(v as usize)
     }
+
+    /// Replaces the identifier table, keeping the frozen adjacency.
+    ///
+    /// Experiment trials vary only the identifier assignment, so a session
+    /// can reuse one adjacency snapshot across trials and swap the `O(n)`
+    /// identifier table instead of re-freezing the `O(n + m)` structure.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `identifiers` does not provide exactly one identifier per
+    /// node.
+    pub fn set_identifiers(&mut self, identifiers: &[Identifier]) {
+        assert_eq!(
+            identifiers.len(),
+            self.node_count(),
+            "identifier table must cover every node exactly once"
+        );
+        self.identifiers.clear();
+        self.identifiers.extend_from_slice(identifiers);
+    }
 }
 
 #[cfg(test)]
@@ -152,6 +182,37 @@ mod tests {
         assert_eq!(csr.node_count(), 0);
         assert_eq!(csr.edge_count(), 0);
         assert!(csr.identifiers().is_empty());
+    }
+
+    #[test]
+    fn set_identifiers_swaps_the_table_only() {
+        let g = generators::cycle(5).unwrap();
+        let mut csr = g.freeze();
+        let reversed: Vec<Identifier> = (0..5).rev().map(Identifier::new).collect();
+        csr.set_identifiers(&reversed);
+        assert_eq!(csr.identifier(0), Identifier::new(4));
+        assert_eq!(csr.identifiers(), reversed.as_slice());
+        // Adjacency untouched.
+        assert_eq!(csr.neighbors(0), g.freeze().neighbors(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "identifier table must cover every node")]
+    fn set_identifiers_rejects_wrong_length() {
+        let mut csr = generators::cycle(4).unwrap().freeze();
+        csr.set_identifiers(&[Identifier::new(0)]);
+    }
+
+    #[test]
+    fn clones_share_the_adjacency_arrays() {
+        let csr = generators::cycle(6).unwrap().freeze();
+        let mut clone = csr.clone();
+        // The adjacency is behind an Arc: a clone points at the same arrays…
+        assert!(std::ptr::eq(csr.neighbors(0).as_ptr(), clone.neighbors(0).as_ptr()));
+        // …while the identifier table stays independent.
+        clone.set_identifiers(&(0..6).rev().map(Identifier::new).collect::<Vec<_>>());
+        assert_ne!(csr.identifier(0), clone.identifier(0));
+        assert_eq!(csr.neighbors(3), clone.neighbors(3));
     }
 
     #[test]

@@ -46,6 +46,12 @@ pub enum GraphError {
         /// Human-readable description of the violated constraint.
         reason: String,
     },
+    /// A construction that requires a connected graph produced only
+    /// disconnected instances (e.g. every `G(n, p)` draw fell apart).
+    Disconnected {
+        /// Human-readable description of the failed construction.
+        reason: String,
+    },
 }
 
 impl fmt::Display for GraphError {
@@ -71,6 +77,9 @@ impl fmt::Display for GraphError {
             }
             GraphError::InvalidGeneratorParameter { reason } => {
                 write!(f, "invalid generator parameter: {reason}")
+            }
+            GraphError::Disconnected { reason } => {
+                write!(f, "graph is disconnected: {reason}")
             }
         }
     }
@@ -106,6 +115,9 @@ mod tests {
 
         let e = GraphError::InvalidGeneratorParameter { reason: "cycle needs n >= 3".into() };
         assert!(e.to_string().contains("cycle needs"));
+
+        let e = GraphError::Disconnected { reason: "every G(8, 0) draw fell apart".into() };
+        assert!(e.to_string().contains("disconnected"));
     }
 
     #[test]

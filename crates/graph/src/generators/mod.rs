@@ -19,7 +19,7 @@ pub use classic::{complete, complete_bipartite, petersen};
 pub use cycle::{cycle, cycle_neighbors, path, ring_lattice};
 pub use grid::{grid, hypercube, torus};
 pub use random::{erdos_renyi, gnm_random, random_tree};
-pub use tree::{balanced_tree, caterpillar, star};
+pub use tree::{balanced_tree, caterpillar, complete_binary_tree, star};
 
 #[cfg(test)]
 mod tests {
@@ -40,6 +40,7 @@ mod tests {
             hypercube(3).unwrap(),
             star(6).unwrap(),
             balanced_tree(2, 3).unwrap(),
+            complete_binary_tree(10).unwrap(),
             caterpillar(4, 2).unwrap(),
         ];
         for g in graphs {

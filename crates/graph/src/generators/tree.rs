@@ -63,6 +63,35 @@ pub fn balanced_tree(arity: usize, depth: usize) -> Result<Graph> {
     Ok(g)
 }
 
+/// The heap-shaped complete binary tree on exactly `n` nodes: node `i` has
+/// children `2i + 1` and `2i + 2` (when they exist), so every level is full
+/// except possibly the last, which fills left to right.
+///
+/// Unlike [`balanced_tree`], which only realises sizes of the form
+/// `2^(d+1) - 1`, this shape exists for every positive `n` — which is what
+/// the topology-parameterised sweeps need.
+///
+/// # Errors
+///
+/// Returns [`GraphError::InvalidGeneratorParameter`] when `n == 0`.
+pub fn complete_binary_tree(n: usize) -> Result<Graph> {
+    if n == 0 {
+        return Err(GraphError::InvalidGeneratorParameter {
+            reason: "a complete binary tree needs at least 1 node".to_string(),
+        });
+    }
+    let mut g = Graph::with_capacity(n);
+    let nodes = g.add_nodes_with_default_ids(n);
+    for i in 0..n {
+        for child in [2 * i + 1, 2 * i + 2] {
+            if child < n {
+                g.add_edge(nodes[i], nodes[child])?;
+            }
+        }
+    }
+    Ok(g)
+}
+
 /// A caterpillar: a spine path of `spine` nodes, each with `legs` pendant
 /// leaves attached.
 ///
@@ -142,6 +171,29 @@ mod tests {
     fn balanced_tree_rejects_bad_parameters() {
         assert!(balanced_tree(0, 3).is_err());
         assert!(balanced_tree(10, 10).is_err()); // too large
+    }
+
+    #[test]
+    fn complete_binary_tree_exists_for_every_size() {
+        for n in 1usize..40 {
+            let g = complete_binary_tree(n).unwrap();
+            assert_eq!(g.node_count(), n);
+            assert_eq!(g.edge_count(), n - 1);
+            assert!(traversal::is_connected(&g));
+        }
+    }
+
+    #[test]
+    fn complete_binary_tree_matches_balanced_tree_on_full_sizes() {
+        // 2^(d+1) - 1 nodes: the heap shape IS the complete binary tree of
+        // depth d, edge for edge.
+        assert_eq!(complete_binary_tree(15).unwrap(), balanced_tree(2, 3).unwrap());
+        assert_eq!(complete_binary_tree(7).unwrap(), balanced_tree(2, 2).unwrap());
+    }
+
+    #[test]
+    fn complete_binary_tree_rejects_zero() {
+        assert!(complete_binary_tree(0).is_err());
     }
 
     #[test]

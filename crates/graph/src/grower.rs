@@ -24,6 +24,26 @@ use crate::ball::Ball;
 use crate::csr::CsrGraph;
 use crate::{Identifier, NodeId};
 
+/// The owned scratch buffers of a [`BallGrower`], detached from any CSR
+/// borrow.
+///
+/// A grower borrows its [`CsrGraph`], so a long-lived session that owns its
+/// snapshot cannot also store a grower (that would be self-referential).
+/// Instead it stores a `GrowerScratch`, reattaches it with
+/// [`BallGrower::with_scratch`] for each probe, and takes it back with
+/// [`BallGrower::into_scratch`] — keeping the zero-steady-state-allocation
+/// property across probes without holding the borrow open.
+#[derive(Debug, Clone, Default)]
+pub struct GrowerScratch {
+    members: Vec<u32>,
+    dists: Vec<u32>,
+    ids: Vec<Identifier>,
+    ring_ends: Vec<u32>,
+    stamp: Vec<u32>,
+    pos: Vec<u32>,
+    epoch: u32,
+}
+
 /// Grows the ball around a centre node one radius at a time.
 ///
 /// Equivalent, radius for radius, to [`crate::extract_ball`] — the property
@@ -84,24 +104,56 @@ impl<'g> BallGrower<'g> {
     /// Panics if `center` is not a node of the snapshot.
     #[must_use]
     pub fn new(csr: &'g CsrGraph, center: NodeId) -> Self {
+        Self::with_scratch(csr, center, GrowerScratch::default())
+    }
+
+    /// Creates a grower over `csr` reusing the buffers of a detached
+    /// [`GrowerScratch`] (see [`BallGrower::into_scratch`]). Once the scratch
+    /// has warmed up to the size of the snapshot this allocates nothing.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `center` is not a node of the snapshot.
+    #[must_use]
+    pub fn with_scratch(csr: &'g CsrGraph, center: NodeId, scratch: GrowerScratch) -> Self {
         let n = csr.node_count();
+        let GrowerScratch { members, dists, ids, ring_ends, mut stamp, mut pos, epoch } = scratch;
+        // Stale entries hold past epochs, which are strictly smaller than the
+        // epoch `reset` bumps to, so resizing preserves correctness.
+        stamp.resize(n, 0);
+        pos.resize(n, 0);
         let mut grower = BallGrower {
             csr,
             center: 0,
             radius: 0,
-            members: Vec::new(),
-            dists: Vec::new(),
-            ids: Vec::new(),
-            ring_ends: Vec::new(),
-            stamp: vec![0; n],
-            pos: vec![0; n],
-            epoch: 0,
+            members,
+            dists,
+            ids,
+            ring_ends,
+            stamp,
+            pos,
+            epoch,
             published: 0,
             max_id: Identifier::new(0),
             saturated: false,
         };
         grower.reset(center);
         grower
+    }
+
+    /// Detaches the scratch buffers so a session owning the [`CsrGraph`] can
+    /// keep them across probes; reattach with [`BallGrower::with_scratch`].
+    #[must_use]
+    pub fn into_scratch(self) -> GrowerScratch {
+        GrowerScratch {
+            members: self.members,
+            dists: self.dists,
+            ids: self.ids,
+            ring_ends: self.ring_ends,
+            stamp: self.stamp,
+            pos: self.pos,
+            epoch: self.epoch,
+        }
     }
 
     /// Re-centres the grower on `center` at radius 0, reusing every scratch
@@ -412,6 +464,31 @@ mod tests {
         assert!(grower.contains_host(NodeId::new(3)));
         assert!(!grower.contains_host(NodeId::new(4)));
         assert!(!grower.contains_host(NodeId::new(99)));
+    }
+
+    #[test]
+    fn scratch_round_trip_matches_fresh_grower() {
+        // Detach/reattach across two different snapshots (different sizes,
+        // different identifiers) and compare against fresh growers.
+        let mut small = generators::cycle(8).unwrap();
+        IdAssignment::Shuffled { seed: 5 }.apply(&mut small).unwrap();
+        let big = generators::grid(4, 5).unwrap();
+        let small_csr = small.freeze();
+        let big_csr = big.freeze();
+
+        let mut scratch = GrowerScratch::default();
+        for (csr, center) in [(&small_csr, 3), (&big_csr, 11), (&small_csr, 0)] {
+            let mut reused = BallGrower::with_scratch(csr, NodeId::new(center), scratch);
+            let mut fresh = BallGrower::new(csr, NodeId::new(center));
+            for _ in 0..4 {
+                assert_eq!(reused.snapshot_ball(), fresh.snapshot_ball());
+                assert_eq!(reused.max_identifier(), fresh.max_identifier());
+                assert_eq!(reused.is_saturated(), fresh.is_saturated());
+                reused.grow();
+                fresh.grow();
+            }
+            scratch = reused.into_scratch();
+        }
     }
 
     #[test]

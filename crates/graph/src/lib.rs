@@ -11,6 +11,8 @@
 //! * [`Graph`] — undirected simple graphs whose nodes carry [`Identifier`]s;
 //! * [`generators`] — cycles, paths and the other families used in
 //!   experiments;
+//! * [`Topology`] — named graph families (cycle, path, tree, grid, torus,
+//!   `G(n, p)`) that the experiment sweeps are parameterised by;
 //! * [`Permutation`] / [`IdAssignment`] — the adversary's choice of how
 //!   identifiers are laid out on the nodes;
 //! * [`ball`] — radius-`r` balls, the unit of knowledge in the LOCAL model;
@@ -54,6 +56,7 @@ pub mod io;
 pub mod metrics;
 mod permutation;
 mod ports;
+pub mod topology;
 pub mod traversal;
 
 pub use assignment::IdAssignment;
@@ -62,11 +65,12 @@ pub use builder::GraphBuilder;
 pub use csr::CsrGraph;
 pub use error::{GraphError, Result};
 pub use graph::Graph;
-pub use grower::BallGrower;
+pub use grower::{BallGrower, GrowerScratch};
 pub use ids::{Identifier, NodeId};
 pub use metrics::{degree_histogram, summarize, GraphSummary};
 pub use permutation::Permutation;
 pub use ports::PortNumbering;
+pub use topology::{derive_seed, Topology};
 
 #[cfg(test)]
 mod proptests {

@@ -20,7 +20,7 @@
 //! behind [`BallExecutor::from_scratch_baseline`] so benches and tests can
 //! quantify the difference.
 
-use avglocal_graph::{extract_ball, BallGrower, Graph, NodeId};
+use avglocal_graph::{extract_ball, BallGrower, CsrGraph, Graph, NodeId};
 use rayon::prelude::*;
 
 use crate::algorithm::BallAlgorithm;
@@ -208,7 +208,31 @@ impl BallExecutor {
         if self.strategy == GrowthStrategy::FromScratch {
             return self.run_from_scratch(graph, algorithm, knowledge);
         }
-        let csr = graph.freeze();
+        self.run_frozen(&graph.freeze(), algorithm, knowledge)
+    }
+
+    /// Runs `algorithm` on every node of a pre-frozen snapshot — same
+    /// semantics and determinism as [`BallExecutor::run`] with the
+    /// incremental strategy, minus the per-call freeze. This is what
+    /// [`crate::FrozenExecutor::run`] delegates to.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`BallExecutor::run`].
+    pub fn run_frozen<A>(
+        &self,
+        csr: &CsrGraph,
+        algorithm: &A,
+        knowledge: Knowledge,
+    ) -> Result<BallExecution<A::Output>>
+    where
+        A: BallAlgorithm + Sync,
+        A::Output: Send,
+    {
+        let n = csr.node_count();
+        if n == 0 {
+            return Ok(BallExecution { outputs: Vec::new(), radii: Vec::new() });
+        }
         let hard_limit = self.max_radius.unwrap_or(n);
 
         // Chunks are contiguous and processed independently; a few chunks per
@@ -222,7 +246,7 @@ impl BallExecutor {
         let per_chunk: Vec<Result<ChunkResults<A::Output>>> = ranges
             .into_par_iter()
             .map(|range| {
-                let mut grower = BallGrower::new(&csr, NodeId::new(range.start));
+                let mut grower = BallGrower::new(csr, NodeId::new(range.start));
                 let mut chunk = Vec::with_capacity(range.len());
                 for index in range {
                     grower.reset(NodeId::new(index));
@@ -291,7 +315,7 @@ impl BallExecutor {
 type ChunkResults<O> = Vec<(O, usize)>;
 
 /// Probes one node with the incremental grower until the algorithm decides.
-fn drive_grower<A: BallAlgorithm>(
+pub(crate) fn drive_grower<A: BallAlgorithm>(
     grower: &mut BallGrower<'_>,
     algorithm: &A,
     knowledge: &Knowledge,

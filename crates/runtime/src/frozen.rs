@@ -1,0 +1,221 @@
+//! A session executor that freezes the graph once and reuses everything.
+//!
+//! [`crate::BallExecutor::run_node`] freezes a fresh CSR snapshot and
+//! allocates fresh grower buffers on every call, so a caller probing many
+//! single nodes pays `O(n + m)` per probe before any ball is grown.
+//! [`FrozenExecutor`] is the session counterpart: it owns the [`CsrGraph`]
+//! and a detached [`GrowerScratch`], so after the first probe each
+//! [`FrozenExecutor::run_node`] costs only `Θ(ball(v))` — the same bound the
+//! full-graph executor achieves per node.
+//!
+//! Experiment trials vary only the identifier assignment, never the
+//! adjacency, so the session also supports swapping the identifier table in
+//! `O(n)` via [`FrozenExecutor::set_identifiers`] instead of re-freezing.
+
+use avglocal_graph::{BallGrower, CsrGraph, Graph, GrowerScratch, Identifier, NodeId};
+
+use crate::algorithm::BallAlgorithm;
+use crate::ball_executor::{drive_grower, BallExecution, BallExecutor};
+use crate::error::Result;
+use crate::knowledge::Knowledge;
+
+/// A reusable execution session over one frozen graph snapshot.
+///
+/// # Examples
+///
+/// ```
+/// use avglocal_graph::{generators, IdAssignment, NodeId};
+/// use avglocal_runtime::{BallExecutor, FrozenExecutor, Knowledge};
+/// use avglocal_runtime::examples::NaiveLargestId;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut ring = generators::cycle(32)?;
+/// IdAssignment::Shuffled { seed: 7 }.apply(&mut ring)?;
+///
+/// // Freeze once; every probe after the first is O(ball).
+/// let mut session = FrozenExecutor::new(&ring);
+/// for v in ring.nodes() {
+///     let (out, r) = session.run_node(v, &NaiveLargestId, Knowledge::none())?;
+///     let (expected_out, expected_r) =
+///         BallExecutor::new().run_node(&ring, v, &NaiveLargestId, Knowledge::none())?;
+///     assert_eq!((out, r), (expected_out, expected_r));
+/// }
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct FrozenExecutor {
+    csr: CsrGraph,
+    max_radius: Option<usize>,
+    scratch: Option<GrowerScratch>,
+}
+
+impl FrozenExecutor {
+    /// Freezes `graph` and creates a session over the snapshot.
+    #[must_use]
+    pub fn new(graph: &Graph) -> Self {
+        Self::from_csr(graph.freeze())
+    }
+
+    /// Creates a session over an already-frozen snapshot.
+    #[must_use]
+    pub fn from_csr(csr: CsrGraph) -> Self {
+        FrozenExecutor { csr, max_radius: None, scratch: None }
+    }
+
+    /// Refuses to grow balls beyond `max_radius`, like
+    /// [`BallExecutor::with_max_radius`].
+    #[must_use]
+    pub fn with_max_radius(mut self, max_radius: usize) -> Self {
+        self.max_radius = Some(max_radius);
+        self
+    }
+
+    /// Number of nodes in the frozen snapshot.
+    #[must_use]
+    pub fn node_count(&self) -> usize {
+        self.csr.node_count()
+    }
+
+    /// The frozen snapshot the session runs on.
+    #[must_use]
+    pub fn csr(&self) -> &CsrGraph {
+        &self.csr
+    }
+
+    /// Replaces the snapshot's identifier table in `O(n)`, keeping the frozen
+    /// adjacency — the per-trial operation of an identifier-assignment sweep.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `identifiers` does not provide exactly one identifier per
+    /// node.
+    pub fn set_identifiers(&mut self, identifiers: &[Identifier]) {
+        self.csr.set_identifiers(identifiers);
+    }
+
+    /// Runs `algorithm` for a single node and returns `(output, radius)`.
+    ///
+    /// Identical, probe for probe, to [`BallExecutor::run_node`], but the
+    /// snapshot is frozen once per session and the grower buffers are reused
+    /// across calls, so repeated probes cost `Θ(ball(v))` instead of
+    /// `O(n + m + ball(v))`.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`BallExecutor::run_node`].
+    pub fn run_node<A: BallAlgorithm>(
+        &mut self,
+        node: NodeId,
+        algorithm: &A,
+        knowledge: Knowledge,
+    ) -> Result<(A::Output, usize)> {
+        let hard_limit = self.max_radius.unwrap_or_else(|| self.csr.node_count());
+        let scratch = self.scratch.take().unwrap_or_default();
+        let mut grower = BallGrower::with_scratch(&self.csr, node, scratch);
+        let result = drive_grower(&mut grower, algorithm, &knowledge, hard_limit);
+        self.scratch = Some(grower.into_scratch());
+        result
+    }
+
+    /// Runs `algorithm` on every node of the snapshot, with the same parallel
+    /// chunking and deterministic results as [`BallExecutor::run`] — minus
+    /// the per-call freeze.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`BallExecutor::run`].
+    pub fn run<A>(&self, algorithm: &A, knowledge: Knowledge) -> Result<BallExecution<A::Output>>
+    where
+        A: BallAlgorithm + Sync,
+        A::Output: Send,
+    {
+        let executor = match self.max_radius {
+            Some(limit) => BallExecutor::with_max_radius(limit),
+            None => BallExecutor::new(),
+        };
+        executor.run_frozen(&self.csr, algorithm, knowledge)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::examples::NaiveLargestId;
+    use crate::RuntimeError;
+    use avglocal_graph::{generators, IdAssignment, Topology};
+
+    #[test]
+    fn session_matches_per_call_executor_on_all_topologies() {
+        let topologies = [
+            Topology::Cycle,
+            Topology::Path,
+            Topology::CompleteBinaryTree,
+            Topology::Grid,
+            Topology::Torus,
+            Topology::gnp_connected(18, 3),
+        ];
+        for topology in topologies {
+            let mut g = topology.build(18).unwrap();
+            IdAssignment::Shuffled { seed: 11 }.apply(&mut g).unwrap();
+            let mut session = FrozenExecutor::new(&g);
+            for v in g.nodes() {
+                let fresh = BallExecutor::new()
+                    .run_node(&g, v, &NaiveLargestId, Knowledge::none())
+                    .unwrap();
+                let reused = session.run_node(v, &NaiveLargestId, Knowledge::none()).unwrap();
+                assert_eq!(fresh, reused, "{topology}, node {v:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn session_full_run_matches_ball_executor() {
+        let mut g = generators::grid(4, 5).unwrap();
+        IdAssignment::Shuffled { seed: 2 }.apply(&mut g).unwrap();
+        let session = FrozenExecutor::new(&g);
+        let a = session.run(&NaiveLargestId, Knowledge::none()).unwrap();
+        let b = BallExecutor::new().run(&g, &NaiveLargestId, Knowledge::none()).unwrap();
+        assert_eq!(a.outputs(), b.outputs());
+        assert_eq!(a.radii(), b.radii());
+    }
+
+    #[test]
+    fn set_identifiers_reuses_the_adjacency() {
+        let g = generators::cycle(12).unwrap();
+        let mut session = FrozenExecutor::new(&g);
+        for seed in 0u64..4 {
+            let assignment = IdAssignment::Shuffled { seed };
+            session.set_identifiers(&assignment.identifiers(12, 0));
+            let mut fresh_graph = generators::cycle(12).unwrap();
+            assignment.apply(&mut fresh_graph).unwrap();
+            let expected =
+                BallExecutor::new().run(&fresh_graph, &NaiveLargestId, Knowledge::none()).unwrap();
+            let got = session.run(&NaiveLargestId, Knowledge::none()).unwrap();
+            assert_eq!(expected.radii(), got.radii(), "seed {seed}");
+            for v in fresh_graph.nodes() {
+                let (out, r) = session.run_node(v, &NaiveLargestId, Knowledge::none()).unwrap();
+                assert_eq!(out, *expected.output(v));
+                assert_eq!(r, expected.radius(v));
+            }
+        }
+    }
+
+    #[test]
+    fn max_radius_is_enforced_in_the_session() {
+        struct DecideAtRadius(usize);
+        impl BallAlgorithm for DecideAtRadius {
+            type Output = usize;
+            fn decide(&self, view: &crate::LocalView, _knowledge: &Knowledge) -> Option<usize> {
+                (view.radius() >= self.0).then_some(view.radius())
+            }
+        }
+        let g = generators::cycle(30).unwrap();
+        let mut session = FrozenExecutor::new(&g).with_max_radius(3);
+        let err =
+            session.run_node(NodeId::new(0), &DecideAtRadius(10), Knowledge::none()).unwrap_err();
+        assert!(matches!(err, RuntimeError::RoundLimitExceeded { limit: 3, .. }));
+        let err = session.run(&DecideAtRadius(10), Knowledge::none()).unwrap_err();
+        assert!(matches!(err, RuntimeError::RoundLimitExceeded { limit: 3, .. }));
+    }
+}

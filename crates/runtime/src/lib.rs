@@ -28,6 +28,11 @@
 //! behaviour remains available via [`BallExecutor::from_scratch_baseline`]
 //! for benches and equivalence tests.
 //!
+//! Callers probing many single nodes should use [`FrozenExecutor`], the
+//! session counterpart of [`BallExecutor::run_node`]: it freezes the graph
+//! once and reuses the grower scratch across probes, so each probe is
+//! `Θ(ball(v))` instead of paying an `O(n + m)` freeze per call.
+//!
 //! # Example
 //!
 //! ```
@@ -57,6 +62,7 @@ mod ball_executor;
 mod error;
 pub mod examples;
 mod executor;
+mod frozen;
 mod knowledge;
 mod message;
 mod trace;
@@ -67,6 +73,7 @@ pub use algorithm::{BallAlgorithm, NodeContext, RoundAlgorithm};
 pub use ball_executor::{BallExecution, BallExecutor, GrowthStrategy};
 pub use error::{Result, RuntimeError};
 pub use executor::{Execution, SyncExecutor};
+pub use frozen::FrozenExecutor;
 pub use knowledge::Knowledge;
 pub use message::{broadcast, Envelope};
 pub use trace::{RoundStats, Trace};
