@@ -1,8 +1,12 @@
 #!/usr/bin/env sh
 # Perf trajectory for the radius engine: runs the E1 wall-time benchmark
-# (incremental vs from-scratch baseline, plus the run_node probe loop —
-# FrozenExecutor session reuse vs per-call freezing) and refreshes
-# BENCH_e1.json.
+# (incremental vs from-scratch baseline, the run_node probe loop —
+# FrozenExecutor session reuse vs per-call freezing — the skewed scheduling
+# block — work-stealing vs static chunks on the clustered adversarial
+# assignment — and the pool block — persistent pool vs spawn-per-call) and
+# refreshes BENCH_e1.json.
+#
+# Pin the pool for reproducible timings: AVG_LOCAL_THREADS=4 ./bench.sh
 #
 # Usage: ./bench.sh [--quick]
 set -eu

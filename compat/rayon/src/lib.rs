@@ -3,81 +3,106 @@
 //!
 //! The build environment has no access to a crate registry, so the workspace
 //! vendors the data-parallel surface its executors need:
-//! `into_par_iter().map(..).collect()` over ranges and vectors, plus
-//! [`join`]. Work is executed on `std::thread::scope` threads over contiguous
-//! chunks, so results are always in input order — parallelism never changes
-//! an answer.
+//! `into_par_iter().map(..).collect()` / [`ParallelIterator::map_init`] over
+//! ranges and vectors, plus [`join`].
 //!
-//! A global thread-budget (initialised to the machine's available
-//! parallelism) bounds the total number of live worker threads even under
-//! nested parallel calls: a call that cannot reserve extra threads simply
-//! runs inline on the caller's thread.
+//! Unlike the first-generation shim — which spawned fresh
+//! `std::thread::scope` threads on every call and split the input into
+//! static contiguous chunks — this version executes on a **persistent,
+//! lazily initialised global worker pool** with **dynamic chunk
+//! distribution**: parallel calls publish a job with an atomic chunk cursor,
+//! idle participants steal the remaining chunks, and results land in
+//! pre-allocated index-addressed slots. Outputs are therefore always in
+//! input order — parallelism never changes an answer — while a single
+//! expensive item no longer serialises the whole static chunk behind it (see
+//! [`pool`] for the architecture, and [`pool::baseline`] for the retained
+//! spawn-per-call static baseline benches compare against).
+//!
+//! The pool size is, in order of precedence: the
+//! [`ThreadPoolBuilder::build_global`] request, the `AVG_LOCAL_THREADS`
+//! environment variable, or the machine's available parallelism. A pool of
+//! size 1 runs every call inline on the caller, which keeps single-core and
+//! `AVG_LOCAL_THREADS=1` runs allocation- and thread-free — the reference
+//! behaviour determinism tests compare against. Nested parallel calls share
+//! the same pool and injector (no extra threads), and the nesting caller
+//! always participates in its own job, so nesting cannot deadlock.
 
-#![forbid(unsafe_code)]
+#![deny(unsafe_op_in_unsafe_fn)]
 
+pub mod pool;
+
+use std::mem::ManuallyDrop;
 use std::ops::Range;
-use std::sync::atomic::{AtomicIsize, Ordering};
-use std::sync::OnceLock;
 
 /// The traits to import to use parallel iterators.
 pub mod prelude {
     pub use crate::{IntoParallelIterator, ParallelIterator};
 }
 
-fn budget() -> &'static AtomicIsize {
-    static BUDGET: OnceLock<AtomicIsize> = OnceLock::new();
-    BUDGET.get_or_init(|| {
-        let threads = std::thread::available_parallelism().map_or(1, usize::from);
-        // The caller's thread always works too, so the budget only counts
-        // *extra* workers.
-        AtomicIsize::new(threads as isize - 1)
-    })
-}
-
-/// Reserves up to `wanted` extra worker threads from the global budget.
-fn reserve_workers(wanted: usize) -> usize {
-    let budget = budget();
-    let mut granted = 0usize;
-    while granted < wanted {
-        let available = budget.load(Ordering::Relaxed);
-        if available <= 0 {
-            break;
-        }
-        let take = (available as usize).min(wanted - granted) as isize;
-        if budget
-            .compare_exchange(available, available - take, Ordering::Relaxed, Ordering::Relaxed)
-            .is_ok()
-        {
-            granted += take as usize;
-        }
-    }
-    granted
-}
-
-fn release_workers(count: usize) {
-    budget().fetch_add(count as isize, Ordering::Relaxed);
-}
-
-/// Returns the reserved workers to the budget on drop, so a panicking worker
-/// closure cannot leak the reservation (which would silently degrade every
-/// later parallel call in the process to sequential execution).
-struct Reservation(usize);
-
-impl Drop for Reservation {
-    fn drop(&mut self) {
-        release_workers(self.0);
-    }
-}
-
-/// The number of threads the pool would use for a fresh, un-nested parallel
-/// call (the machine's available parallelism).
+/// The number of participants (worker threads plus the calling thread) the
+/// global pool executes with, initialising the pool on first use.
 #[must_use]
 pub fn current_num_threads() -> usize {
-    std::thread::available_parallelism().map_or(1, usize::from)
+    pool::num_threads()
 }
 
-/// Runs the two closures, in parallel when a worker thread is available, and
-/// returns both results.
+/// Error returned when the global pool was already initialised with a
+/// different size than the builder requested.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ThreadPoolBuildError {
+    /// The size the already-running global pool was built with.
+    pub active_threads: usize,
+}
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "global thread pool already initialised with {} threads", self.active_threads)
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// Builder for the global pool, mirroring rayon's
+/// `ThreadPoolBuilder::new().num_threads(n).build_global()` surface so
+/// benches and CI can pin worker counts programmatically (the
+/// `AVG_LOCAL_THREADS` environment variable is the non-programmatic route).
+#[derive(Debug, Clone, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: Option<usize>,
+}
+
+impl ThreadPoolBuilder {
+    /// Creates a builder with no explicit thread count.
+    #[must_use]
+    pub fn new() -> Self {
+        ThreadPoolBuilder::default()
+    }
+
+    /// Requests a pool of exactly `num_threads` participants (0 keeps the
+    /// automatic choice, like upstream rayon).
+    #[must_use]
+    pub fn num_threads(mut self, num_threads: usize) -> Self {
+        self.num_threads = Some(num_threads);
+        self
+    }
+
+    /// Installs the request for the global pool.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ThreadPoolBuildError`] when the global pool has already
+    /// been initialised (by an earlier parallel call) with a different size.
+    pub fn build_global(self) -> Result<(), ThreadPoolBuildError> {
+        match self.num_threads {
+            None | Some(0) => Ok(()),
+            Some(threads) => pool::request_threads(threads)
+                .map_err(|active_threads| ThreadPoolBuildError { active_threads }),
+        }
+    }
+}
+
+/// Runs the two closures, in parallel when a pool worker is free to take the
+/// second one, and returns both results.
 pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
 where
     A: FnOnce() -> RA + Send,
@@ -85,53 +110,7 @@ where
     RA: Send,
     RB: Send,
 {
-    if reserve_workers(1) == 0 {
-        return (a(), b());
-    }
-    let _reservation = Reservation(1);
-    std::thread::scope(|scope| {
-        let handle = scope.spawn(b);
-        let ra = a();
-        (ra, handle.join().expect("rayon-shim join worker panicked"))
-    })
-}
-
-/// Applies `f` to every item on a bounded set of scoped threads, preserving
-/// input order in the output.
-fn parallel_apply<T, R, F>(items: Vec<T>, f: &F) -> Vec<R>
-where
-    T: Send,
-    R: Send,
-    F: Fn(T) -> R + Sync,
-{
-    let len = items.len();
-    if len <= 1 {
-        return items.into_iter().map(f).collect();
-    }
-    let extra = reserve_workers(len.saturating_sub(1).min(current_num_threads()));
-    if extra == 0 {
-        return items.into_iter().map(f).collect();
-    }
-    let _reservation = Reservation(extra);
-    let chunks = extra + 1;
-    let chunk_len = len.div_ceil(chunks);
-    let mut batches: Vec<Vec<T>> = Vec::with_capacity(chunks);
-    let mut items = items.into_iter();
-    for _ in 0..chunks {
-        batches.push(items.by_ref().take(chunk_len).collect());
-    }
-    let mut results: Vec<Vec<R>> = std::thread::scope(|scope| {
-        let mut handles = Vec::with_capacity(chunks);
-        for batch in batches {
-            handles.push(scope.spawn(move || batch.into_iter().map(f).collect::<Vec<R>>()));
-        }
-        handles.into_iter().map(|h| h.join().expect("rayon-shim map worker panicked")).collect()
-    });
-    let mut out = Vec::with_capacity(len);
-    for batch in &mut results {
-        out.append(batch);
-    }
-    out
+    pool::join(a, b)
 }
 
 /// Conversion into a parallel iterator.
@@ -144,13 +123,20 @@ pub trait IntoParallelIterator {
     fn into_par_iter(self) -> Self::Iter;
 }
 
-/// A parallel iterator: a pipeline that can be executed across threads.
+/// A parallel iterator: a pipeline that can be executed across the pool.
 pub trait ParallelIterator: Sized {
     /// The type of the items.
     type Item: Send;
 
-    /// Executes the pipeline and returns the items in input order.
-    fn drive(self) -> Vec<Self::Item>;
+    /// Drives the pipeline on the pool with a per-participant `state`
+    /// threaded through `f` — the engine hook every adapter reduces to.
+    /// Results are returned in input order.
+    fn apply_with_state<S, R, G, F>(self, init: G, f: F) -> Vec<R>
+    where
+        S: Send,
+        R: Send,
+        G: Fn() -> S + Sync,
+        F: Fn(&mut S, Self::Item) -> R + Sync;
 
     /// Maps every item through `f` (applied in parallel when driven).
     fn map<R, F>(self, f: F) -> Map<Self, F>
@@ -159,6 +145,25 @@ pub trait ParallelIterator: Sized {
         F: Fn(Self::Item) -> R + Sync,
     {
         Map { base: self, f }
+    }
+
+    /// Maps every item through `f`, handing it a mutable state created by
+    /// `init` once per pool participant and reused across all chunks that
+    /// participant claims — rayon's `map_init`. This is how executors keep
+    /// per-worker scratch buffers warm across stolen chunks.
+    fn map_init<S, R, G, F>(self, init: G, f: F) -> MapInit<Self, G, F>
+    where
+        S: Send,
+        R: Send,
+        G: Fn() -> S + Sync,
+        F: Fn(&mut S, Self::Item) -> R + Sync,
+    {
+        MapInit { base: self, init, f }
+    }
+
+    /// Executes the pipeline and returns the items in input order.
+    fn drive(self) -> Vec<Self::Item> {
+        self.apply_with_state(|| (), |_, item| item)
     }
 
     /// Executes the pipeline and collects the items.
@@ -170,9 +175,40 @@ pub trait ParallelIterator: Sized {
     fn for_each<F>(self, f: F)
     where
         F: Fn(Self::Item) + Sync,
-        Self::Item: Send,
     {
-        let _: Vec<()> = Map { base: self, f: |item| f(item) }.drive();
+        let _: Vec<()> = self.apply_with_state(|| (), |_, item| f(item));
+    }
+}
+
+/// Shareable raw base pointer of a vector whose items are claimed by index.
+struct ItemsPtr<T>(*const T);
+
+impl<T> ItemsPtr<T> {
+    /// The base pointer; a method (rather than field access) so closures
+    /// capture the `Sync` wrapper, not the raw pointer.
+    fn base(&self) -> *const T {
+        self.0
+    }
+}
+
+// SAFETY: the pointer is only dereferenced through the claim-by-index
+// protocol (each index exactly once) on `T: Send` items.
+unsafe impl<T: Send> Send for ItemsPtr<T> {}
+unsafe impl<T: Send> Sync for ItemsPtr<T> {}
+
+/// Frees a vector's buffer on drop without dropping any elements; used so a
+/// panicking pipeline cannot double-drop items that were moved out by index.
+struct RawBuffer<T> {
+    ptr: *mut T,
+    capacity: usize,
+}
+
+impl<T> Drop for RawBuffer<T> {
+    fn drop(&mut self) {
+        // SAFETY: constructed from a live Vec's parts; length 0 means no
+        // element destructor runs (consumed items were moved out; on a
+        // panic, unconsumed ones are deliberately leaked).
+        drop(unsafe { Vec::from_raw_parts(self.ptr, 0, self.capacity) });
     }
 }
 
@@ -184,8 +220,26 @@ pub struct VecIter<T> {
 
 impl<T: Send> ParallelIterator for VecIter<T> {
     type Item = T;
-    fn drive(self) -> Vec<T> {
-        self.items
+
+    fn apply_with_state<S, R, G, F>(self, init: G, f: F) -> Vec<R>
+    where
+        S: Send,
+        R: Send,
+        G: Fn() -> S + Sync,
+        F: Fn(&mut S, T) -> R + Sync,
+    {
+        let len = self.items.len();
+        let mut items = ManuallyDrop::new(self.items);
+        let buffer = RawBuffer { ptr: items.as_mut_ptr(), capacity: items.capacity() };
+        let base = ItemsPtr(buffer.ptr.cast_const());
+        let results = pool::run_chunked(len, init, |state, index| {
+            // SAFETY: the chunk cursor hands out every index exactly once,
+            // so each item is moved out exactly once.
+            let item = unsafe { std::ptr::read(base.base().add(index)) };
+            f(state, item)
+        });
+        drop(buffer);
+        results
     }
 }
 
@@ -197,11 +251,34 @@ impl<T: Send> IntoParallelIterator for Vec<T> {
     }
 }
 
+/// Parallel iterator over a contiguous index range — drives the pool's chunk
+/// cursor directly, with no materialised item buffer.
+#[derive(Debug)]
+pub struct RangeIter {
+    range: Range<usize>,
+}
+
+impl ParallelIterator for RangeIter {
+    type Item = usize;
+
+    fn apply_with_state<S, R, G, F>(self, init: G, f: F) -> Vec<R>
+    where
+        S: Send,
+        R: Send,
+        G: Fn() -> S + Sync,
+        F: Fn(&mut S, usize) -> R + Sync,
+    {
+        let start = self.range.start;
+        let len = self.range.len();
+        pool::run_chunked(len, init, |state, index| f(state, start + index))
+    }
+}
+
 impl IntoParallelIterator for Range<usize> {
     type Item = usize;
-    type Iter = VecIter<usize>;
-    fn into_par_iter(self) -> VecIter<usize> {
-        VecIter { items: self.collect() }
+    type Iter = RangeIter;
+    fn into_par_iter(self) -> RangeIter {
+        RangeIter { range: self }
     }
 }
 
@@ -219,14 +296,62 @@ where
     F: Fn(I::Item) -> R + Sync,
 {
     type Item = R;
-    fn drive(self) -> Vec<R> {
-        parallel_apply(self.base.drive(), &self.f)
+
+    fn apply_with_state<S, R2, G, F2>(self, init: G, f: F2) -> Vec<R2>
+    where
+        S: Send,
+        R2: Send,
+        G: Fn() -> S + Sync,
+        F2: Fn(&mut S, R) -> R2 + Sync,
+    {
+        let map = self.f;
+        self.base.apply_with_state(init, |state, item| f(state, map(item)))
+    }
+}
+
+/// A stateful mapping stage of a parallel pipeline (see
+/// [`ParallelIterator::map_init`]).
+#[derive(Debug)]
+pub struct MapInit<I, G, F> {
+    base: I,
+    init: G,
+    f: F,
+}
+
+impl<I, S, R, G, F> ParallelIterator for MapInit<I, G, F>
+where
+    I: ParallelIterator,
+    S: Send,
+    R: Send,
+    G: Fn() -> S + Sync,
+    F: Fn(&mut S, I::Item) -> R + Sync,
+{
+    type Item = R;
+
+    fn apply_with_state<S2, R2, G2, F2>(self, init: G2, f: F2) -> Vec<R2>
+    where
+        S2: Send,
+        R2: Send,
+        G2: Fn() -> S2 + Sync,
+        F2: Fn(&mut S2, R) -> R2 + Sync,
+    {
+        let my_init = self.init;
+        let my_f = self.f;
+        self.base.apply_with_state(
+            move || (my_init(), init()),
+            move |state, item| {
+                let (inner, outer) = state;
+                f(outer, my_f(inner, item))
+            },
+        )
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::prelude::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
 
     #[test]
     fn map_collect_preserves_order() {
@@ -240,6 +365,63 @@ mod tests {
         let v: Vec<i64> = vec![3, 1, 2];
         let out: Vec<i64> = v.into_par_iter().map(|x| x * 10).map(|x| x + 1).collect();
         assert_eq!(out, vec![31, 11, 21]);
+    }
+
+    #[test]
+    fn vec_source_moves_every_item_exactly_once() {
+        // Non-Copy items with a drop counter: every item must be consumed by
+        // the pipeline exactly once and dropped exactly once.
+        struct Tracked(Arc<AtomicUsize>);
+        impl Drop for Tracked {
+            fn drop(&mut self) {
+                self.0.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        let drops = Arc::new(AtomicUsize::new(0));
+        let items: Vec<Tracked> = (0..500).map(|_| Tracked(Arc::clone(&drops))).collect();
+        let consumed: Vec<usize> = items.into_par_iter().map(drop).map(|()| 1).collect();
+        assert_eq!(consumed.len(), 500);
+        assert_eq!(drops.load(Ordering::Relaxed), 500);
+    }
+
+    #[test]
+    fn map_init_reuses_state_within_a_participant() {
+        // The number of `init` calls is bounded by the pool size, never by
+        // the item count — that is the whole point of per-worker state.
+        let inits = AtomicUsize::new(0);
+        let out: Vec<usize> = (0..4096)
+            .into_par_iter()
+            .map_init(
+                || {
+                    inits.fetch_add(1, Ordering::Relaxed);
+                    0usize
+                },
+                |calls, i| {
+                    *calls += 1;
+                    i
+                },
+            )
+            .collect();
+        assert_eq!(out.len(), 4096);
+        assert!(out.iter().enumerate().all(|(i, &v)| v == i));
+        let init_count = inits.load(Ordering::Relaxed);
+        assert!(init_count >= 1);
+        assert!(
+            init_count <= super::current_num_threads(),
+            "map_init must create at most one state per pool participant \
+             ({init_count} inits on a {}-thread pool)",
+            super::current_num_threads()
+        );
+    }
+
+    #[test]
+    fn map_init_after_map_composes() {
+        let out: Vec<usize> = (0..100)
+            .into_par_iter()
+            .map(|i| i * 2)
+            .map_init(|| 3usize, |offset, i| i + *offset)
+            .collect();
+        assert!(out.iter().enumerate().all(|(i, &v)| v == i * 2 + 3));
     }
 
     #[test]
@@ -259,11 +441,18 @@ mod tests {
     }
 
     #[test]
-    fn panicking_worker_does_not_leak_the_budget() {
-        use std::sync::atomic::Ordering;
-        // A panic inside a parallel map must return the reserved workers to
-        // the global budget (otherwise all later calls silently go inline).
-        let before = super::budget().load(Ordering::Relaxed);
+    fn join_propagates_panics_from_the_right_side() {
+        let attempt = std::panic::catch_unwind(|| {
+            super::join(|| 1, || -> usize { panic!("right side boom") });
+        });
+        assert!(attempt.is_err());
+        // The pool still works afterwards.
+        let (a, b) = super::join(|| 5, || 6);
+        assert_eq!((a, b), (5, 6));
+    }
+
+    #[test]
+    fn panicking_item_propagates_and_pool_survives() {
         let attempt = std::panic::catch_unwind(|| {
             let _: Vec<usize> = (0..64)
                 .into_par_iter()
@@ -271,19 +460,19 @@ mod tests {
                 .collect();
         });
         assert!(attempt.is_err(), "the panic must propagate to the caller");
-        // Other tests may hold transient reservations; only a *permanent*
-        // shortfall (the leak) keeps the budget below `before` for long.
-        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
-        while super::budget().load(Ordering::Relaxed) < before {
-            assert!(
-                std::time::Instant::now() < deadline,
-                "reservation leaked after a worker panic"
-            );
-            std::thread::yield_now();
+        // The persistent pool must survive a panicking job.
+        for _ in 0..3 {
+            let v: Vec<usize> = (0..100).into_par_iter().map(|i| i + 1).collect();
+            assert_eq!(v[99], 100);
         }
-        // And the pool still works afterwards.
-        let v: Vec<usize> = (0..100).into_par_iter().map(|i| i + 1).collect();
-        assert_eq!(v[99], 100);
+    }
+
+    #[test]
+    fn repeated_runs_are_bit_identical() {
+        let run = || -> Vec<u64> {
+            (0..2048).into_par_iter().map(|i| (i as u64).wrapping_mul(0x9e37_79b9)).collect()
+        };
+        assert_eq!(run(), run());
     }
 
     #[test]
@@ -292,5 +481,40 @@ mod tests {
         assert!(empty.is_empty());
         let one: Vec<usize> = vec![5].into_par_iter().map(|x| x * 2).collect();
         assert_eq!(one, vec![10]);
+    }
+
+    #[test]
+    fn for_each_visits_every_item() {
+        let count = AtomicUsize::new(0);
+        (0..333).into_par_iter().for_each(|_| {
+            count.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(count.load(Ordering::Relaxed), 333);
+    }
+
+    #[test]
+    fn current_num_threads_is_positive() {
+        assert!(super::current_num_threads() >= 1);
+    }
+
+    #[test]
+    fn builder_rejects_resizing_a_running_pool() {
+        // Force pool start, then ask for an absurd size: either the pool was
+        // not started yet (request accepted) or the builder must refuse.
+        let _ = (0..16).into_par_iter().map(|i| i).collect::<Vec<_>>();
+        let active = super::current_num_threads();
+        match super::ThreadPoolBuilder::new().num_threads(active + 7).build_global() {
+            Ok(()) => panic!("builder accepted resizing an already-running pool"),
+            Err(err) => assert_eq!(err.active_threads, active),
+        }
+        // A no-op request is always fine.
+        assert!(super::ThreadPoolBuilder::new().build_global().is_ok());
+    }
+
+    #[test]
+    fn static_baseline_matches_pool_results() {
+        let pool: Vec<usize> = (0..512).into_par_iter().map(|i| i * 3).collect();
+        let baseline = super::pool::baseline::static_chunked(512, 4, || (), |(), i| i * 3);
+        assert_eq!(pool, baseline);
     }
 }

@@ -1,0 +1,573 @@
+//! The persistent worker pool behind the crate's parallel primitives.
+//!
+//! # Architecture
+//!
+//! A single global pool is initialised lazily on the first parallel call. It
+//! owns `threads - 1` **persistent** worker threads (the calling thread is
+//! always the remaining participant), so steady-state parallel calls never
+//! pay thread-spawn latency — the overhead the old scoped-thread shim paid on
+//! every call.
+//!
+//! Work is distributed **dynamically**: a parallel call publishes one
+//! *chunk job* carrying an atomic cursor over the index space `0..len`.
+//! Every participant — the caller plus any worker that picks the job up from
+//! the shared injector — repeatedly claims the next small chunk of indices
+//! from the cursor and processes it. A participant stuck on one expensive
+//! item therefore stalls only its own chunk while the others drain the rest
+//! of the index space, which is exactly what the skewed per-node costs of
+//! adversarial identifier assignments need (one `Θ(n)` node among `n - 1`
+//! cheap ones). This is shared-queue work *sharing* rather than per-worker
+//! deques, but it provides the property that matters here: idle participants
+//! steal remaining chunks instead of idling behind a static partition.
+//!
+//! Results are written into pre-allocated, index-addressed output slots, so
+//! outputs are deterministic by **position** no matter which participant
+//! processed which chunk and in which order.
+//!
+//! # Nested calls
+//!
+//! A participant may itself issue a parallel call (the nested-call budget
+//! semantics of the old shim). The nested job is published to the same
+//! injector; the nesting participant claims its chunks itself, so progress
+//! never depends on another thread being free — a pool of total size 1
+//! degrades to plain inline execution.
+//!
+//! # Safety
+//!
+//! Jobs live on the publishing caller's stack and are shared with workers by
+//! raw pointer, so the protocol below guarantees no worker can touch a job
+//! after its caller returns:
+//!
+//! * a worker only learns about a job from the injector, and **enters** it
+//!   (increments the job's `inside` count) while holding the injector lock;
+//! * the caller removes the job from the injector (same lock) before its
+//!   final wait, so no new participant can enter afterwards;
+//! * the caller returns only once every index is completed **and**
+//!   `inside == 0`, i.e. after the last worker has left the job.
+//!
+//! A panicking work item is caught, recorded, and re-thrown on the caller;
+//! remaining chunks are skipped (claimed and counted without running). The
+//! pool threads themselves never unwind. On the panic path the already
+//! produced outputs (and, for vector sources, unconsumed items) are leaked
+//! rather than dropped — a deliberate simplification over upstream rayon.
+
+use std::any::Any;
+use std::cell::{Cell, UnsafeCell};
+use std::mem::{ManuallyDrop, MaybeUninit};
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex, OnceLock};
+
+/// Environment variable pinning the pool size (total participants, counting
+/// the calling thread). Read once, at first use of the pool; values that do
+/// not parse to a positive integer are ignored.
+pub const THREADS_ENV: &str = "AVG_LOCAL_THREADS";
+
+/// Hard cap on the pool size, guarding against absurd overrides.
+const MAX_THREADS: usize = 512;
+
+/// Pool size requested by [`crate::ThreadPoolBuilder::build_global`] before
+/// the pool was initialised (0 = no request).
+static REQUESTED_THREADS: AtomicUsize = AtomicUsize::new(0);
+
+/// Records a builder request for the global pool size and initialises the
+/// pool eagerly (like upstream rayon's `build_global`), so success means
+/// the pool *is* running at the requested size — there is no window in
+/// which a racing first parallel call can win with a different size after
+/// an `Ok` was reported.
+///
+/// Returns `Err` with the actually-active size when the pool was (or ends
+/// up, under a race) initialised with a different one.
+pub(crate) fn request_threads(threads: usize) -> Result<(), usize> {
+    let clamped = threads.clamp(1, MAX_THREADS);
+    if POOL.get().is_none() {
+        REQUESTED_THREADS.store(clamped, Ordering::Relaxed);
+    }
+    // `OnceLock` serialises initialisation: either our request (stored
+    // above) wins, or someone else's resolution did — read the truth back.
+    let active = num_threads();
+    if active == clamped {
+        Ok(())
+    } else {
+        Err(active)
+    }
+}
+
+/// The number of participants (workers + the calling thread) of the global
+/// pool, initialising it if necessary.
+pub(crate) fn num_threads() -> usize {
+    shared().threads
+}
+
+fn resolve_thread_count() -> usize {
+    let requested = REQUESTED_THREADS.load(Ordering::Relaxed);
+    if requested > 0 {
+        return requested;
+    }
+    if let Ok(value) = std::env::var(THREADS_ENV) {
+        if let Ok(parsed) = value.trim().parse::<usize>() {
+            if parsed > 0 {
+                return parsed.min(MAX_THREADS);
+            }
+        }
+    }
+    std::thread::available_parallelism().map_or(1, usize::from)
+}
+
+/// State shared between the workers and every caller.
+struct Shared {
+    /// Total participants: `threads - 1` workers plus the calling thread.
+    threads: usize,
+    /// Jobs currently accepting helpers, newest last.
+    injector: Mutex<Vec<JobRef>>,
+    /// Signalled when a job is published.
+    work_available: Condvar,
+}
+
+static POOL: OnceLock<Shared> = OnceLock::new();
+
+fn shared() -> &'static Shared {
+    let shared = POOL.get_or_init(|| Shared {
+        threads: resolve_thread_count(),
+        injector: Mutex::new(Vec::new()),
+        work_available: Condvar::new(),
+    });
+    static WORKERS_STARTED: OnceLock<()> = OnceLock::new();
+    WORKERS_STARTED.get_or_init(|| {
+        for index in 1..shared.threads {
+            std::thread::Builder::new()
+                .name(format!("avglocal-pool-{index}"))
+                .spawn(move || worker_loop(shared, index))
+                .expect("spawning a pool worker thread");
+        }
+    });
+    shared
+}
+
+thread_local! {
+    /// Stable participant index of this thread: workers get `1..threads`,
+    /// any external thread acts as participant 0 of the jobs it publishes.
+    static PARTICIPANT_INDEX: Cell<usize> = const { Cell::new(0) };
+}
+
+/// A type- and lifetime-erased reference to a job living on some caller's
+/// stack. The protocol in the module docs keeps the pointer valid for as
+/// long as any worker can reach it.
+#[derive(Clone, Copy)]
+struct JobRef {
+    data: *const (),
+    /// Registers the calling worker as a participant; called under the
+    /// injector lock. Returns `false` when the job has no work left.
+    enter: unsafe fn(*const ()) -> bool,
+    /// Claims and processes chunks until none remain, then deregisters the
+    /// participant. Called *without* the injector lock.
+    run: unsafe fn(*const (), usize),
+}
+
+// SAFETY: the pointed-to job is shared across threads by design; the public
+// entry points bound the user closures by `Sync` and the results by `Send`,
+// and the enter/inside protocol bounds the pointer's lifetime.
+unsafe impl Send for JobRef {}
+
+fn worker_loop(shared: &'static Shared, index: usize) {
+    PARTICIPANT_INDEX.with(|cell| cell.set(index));
+    let mut queue = shared.injector.lock().expect("pool injector poisoned");
+    loop {
+        // Prefer the newest job (deepest nesting level) and drop exhausted
+        // entries on the way; entering happens under the injector lock so a
+        // caller that later removes the job is guaranteed to see `inside`.
+        let mut picked = None;
+        while let Some(&job) = queue.last() {
+            // SAFETY: the ref was found in the injector under the lock, so
+            // its caller has not returned (removal precedes return).
+            if unsafe { (job.enter)(job.data) } {
+                picked = Some(job);
+                break;
+            }
+            queue.pop();
+        }
+        match picked {
+            Some(job) => {
+                drop(queue);
+                // SAFETY: this worker is registered in the job's `inside`
+                // count, so the caller waits for it before returning.
+                unsafe { (job.run)(job.data, index) };
+                queue = shared.injector.lock().expect("pool injector poisoned");
+            }
+            None => {
+                queue = shared.work_available.wait(queue).expect("pool injector poisoned");
+            }
+        }
+    }
+}
+
+/// Completion bookkeeping of a job, all under one mutex so the final
+/// notification cannot race the caller's teardown of the job.
+struct JobStatus {
+    /// Indices whose processing (or panic-skip) has finished.
+    completed: usize,
+    /// Workers currently registered with the job.
+    inside: usize,
+    /// First captured panic payload, re-thrown by the caller.
+    panic: Option<Box<dyn Any + Send + 'static>>,
+}
+
+/// A dynamic chunk job over the index space `0..len`: the cursor hands out
+/// chunks, every claimed index `i` writes its result into `outputs[i]`, and
+/// each participant lazily builds one reusable state in its own slot.
+struct ChunkJob<S, R, G, F> {
+    len: usize,
+    chunk: usize,
+    cursor: AtomicUsize,
+    /// Set when a work item panicked: remaining chunks are claimed and
+    /// counted without running.
+    panicked: AtomicBool,
+    /// Base of `len` pre-allocated output slots, written by claimed index.
+    outputs: *const UnsafeCell<MaybeUninit<R>>,
+    /// Base of one state slot per possible participant index.
+    states: *const UnsafeCell<Option<S>>,
+    init: *const G,
+    work: *const F,
+    sync: Mutex<JobStatus>,
+    done: Condvar,
+}
+
+impl<S, R, G, F> ChunkJob<S, R, G, F>
+where
+    G: Fn() -> S + Sync,
+    F: Fn(&mut S, usize) -> R + Sync,
+{
+    /// Claims and processes chunks until the cursor is exhausted.
+    ///
+    /// # Safety
+    ///
+    /// `index` must be unique among the job's live participants (guaranteed
+    /// by the pool: workers use their own index, the caller uses its), and
+    /// the job's pointers must still be valid (guaranteed by the
+    /// enter/remove/wait protocol).
+    unsafe fn participate(&self, index: usize) {
+        loop {
+            let start = self.cursor.fetch_add(self.chunk, Ordering::Relaxed);
+            if start >= self.len {
+                break;
+            }
+            let end = (start + self.chunk).min(self.len);
+            let outcome = if self.panicked.load(Ordering::Relaxed) {
+                Ok(())
+            } else {
+                catch_unwind(AssertUnwindSafe(|| {
+                    // SAFETY: only this participant touches slot `index`,
+                    // and every claimed output index is written exactly once.
+                    let slot = unsafe { &mut *(*self.states.add(index)).get() };
+                    let state = slot.get_or_insert_with(|| unsafe { (*self.init)() });
+                    for i in start..end {
+                        let value = unsafe { (*self.work)(state, i) };
+                        unsafe { (*self.outputs.add(i)).get().write(MaybeUninit::new(value)) };
+                    }
+                }))
+            };
+            let mut status = self.sync.lock().expect("job status poisoned");
+            status.completed += end - start;
+            if let Err(payload) = outcome {
+                self.panicked.store(true, Ordering::Relaxed);
+                if status.panic.is_none() {
+                    status.panic = Some(payload);
+                }
+            }
+            if status.completed == self.len {
+                self.done.notify_all();
+            }
+        }
+    }
+}
+
+/// `JobRef::enter` for a [`ChunkJob`].
+unsafe fn chunk_enter<S, R, G, F>(data: *const ()) -> bool
+where
+    G: Fn() -> S + Sync,
+    F: Fn(&mut S, usize) -> R + Sync,
+{
+    // SAFETY: called under the injector lock on a listed job (see JobRef).
+    let job = unsafe { &*data.cast::<ChunkJob<S, R, G, F>>() };
+    if job.cursor.load(Ordering::Relaxed) >= job.len {
+        return false;
+    }
+    job.sync.lock().expect("job status poisoned").inside += 1;
+    true
+}
+
+/// `JobRef::run` for a [`ChunkJob`]: participate, then deregister.
+unsafe fn chunk_run<S, R, G, F>(data: *const (), index: usize)
+where
+    G: Fn() -> S + Sync,
+    F: Fn(&mut S, usize) -> R + Sync,
+{
+    // SAFETY: the worker is registered via `chunk_enter`, so the job
+    // outlives this call; `index` is the worker's unique pool index.
+    let job = unsafe { &*data.cast::<ChunkJob<S, R, G, F>>() };
+    unsafe { job.participate(index) };
+    let mut status = job.sync.lock().expect("job status poisoned");
+    status.inside -= 1;
+    if status.inside == 0 && status.completed == job.len {
+        job.done.notify_all();
+    }
+}
+
+/// Chunk size for a job of `len` items on a pool of `threads` participants:
+/// roughly 16 claims per participant, so one expensive item stalls only a
+/// small chunk while cursor traffic stays negligible.
+fn chunk_size(len: usize, threads: usize) -> usize {
+    (len / (threads * 16)).clamp(1, 1024)
+}
+
+/// Runs `work(state, index)` for every `index in 0..len` on the global pool
+/// and returns the results in index order.
+///
+/// Each participant lazily creates one `state` with `init` and reuses it for
+/// every chunk it claims — the hook executors use to keep per-worker scratch
+/// buffers warm across stolen chunks.
+///
+/// # Panics
+///
+/// Re-throws the first panic raised by `init` or `work`; the pool survives.
+pub(crate) fn run_chunked<S, R, G, F>(len: usize, init: G, work: F) -> Vec<R>
+where
+    S: Send,
+    R: Send,
+    G: Fn() -> S + Sync,
+    F: Fn(&mut S, usize) -> R + Sync,
+{
+    if len == 0 {
+        return Vec::new();
+    }
+    let shared = shared();
+    if shared.threads == 1 || len == 1 {
+        let mut state = init();
+        return (0..len).map(|i| work(&mut state, i)).collect();
+    }
+
+    let outputs: Vec<UnsafeCell<MaybeUninit<R>>> =
+        (0..len).map(|_| UnsafeCell::new(MaybeUninit::uninit())).collect();
+    let states: Vec<UnsafeCell<Option<S>>> =
+        (0..shared.threads).map(|_| UnsafeCell::new(None)).collect();
+    let job = ChunkJob {
+        len,
+        chunk: chunk_size(len, shared.threads),
+        cursor: AtomicUsize::new(0),
+        panicked: AtomicBool::new(false),
+        outputs: outputs.as_ptr(),
+        states: states.as_ptr(),
+        init: &init,
+        work: &work,
+        sync: Mutex::new(JobStatus { completed: 0, inside: 0, panic: None }),
+        done: Condvar::new(),
+    };
+    let job_ref = JobRef {
+        data: std::ptr::from_ref(&job).cast(),
+        enter: chunk_enter::<S, R, G, F>,
+        run: chunk_run::<S, R, G, F>,
+    };
+    shared.injector.lock().expect("pool injector poisoned").push(job_ref);
+    shared.work_available.notify_all();
+
+    // The caller claims chunks too, under its own participant index.
+    let index = PARTICIPANT_INDEX.with(Cell::get);
+    // SAFETY: the caller's index cannot collide with a worker helping this
+    // job, and the job outlives this frame.
+    unsafe { job.participate(index) };
+
+    // No new helper may enter once the ref is gone from the injector …
+    shared
+        .injector
+        .lock()
+        .expect("pool injector poisoned")
+        .retain(|j| !std::ptr::eq(j.data, job_ref.data));
+    // … so waiting for `inside == 0` below makes freeing the job safe.
+    let mut status = job.sync.lock().expect("job status poisoned");
+    while status.completed < len || status.inside > 0 {
+        status = job.done.wait(status).expect("job status poisoned");
+    }
+    let panic = status.panic.take();
+    drop(status);
+    if let Some(payload) = panic {
+        // `outputs` frees its buffer without dropping the written `R`s —
+        // the panic path leaks results instead of tracking which slots are
+        // initialised.
+        resume_unwind(payload);
+    }
+    // SAFETY: every index in 0..len was claimed exactly once and its slot
+    // written; `UnsafeCell<MaybeUninit<R>>` has the layout of `R`, so the
+    // buffer can be reinterpreted in place.
+    let mut buffer = ManuallyDrop::new(outputs);
+    unsafe { Vec::from_raw_parts(buffer.as_mut_ptr().cast::<R>(), len, buffer.capacity()) }
+}
+
+/// A one-shot job carrying the right-hand closure of a [`join`] call.
+struct JoinJob<B, RB> {
+    claimed: AtomicBool,
+    op: UnsafeCell<Option<B>>,
+    sync: Mutex<JoinStatus<RB>>,
+    done: Condvar,
+}
+
+struct JoinStatus<RB> {
+    finished: bool,
+    inside: usize,
+    result: Option<RB>,
+    panic: Option<Box<dyn Any + Send + 'static>>,
+}
+
+impl<B, RB> JoinJob<B, RB>
+where
+    B: FnOnce() -> RB + Send,
+    RB: Send,
+{
+    /// Tries to claim and run the closure; returns `false` when another
+    /// participant claimed it first.
+    fn try_execute(&self) -> bool {
+        if self.claimed.swap(true, Ordering::AcqRel) {
+            return false;
+        }
+        // SAFETY: the swap above makes this the only access to `op`.
+        let op = unsafe { (*self.op.get()).take() }.expect("join closure claimed twice");
+        let outcome = catch_unwind(AssertUnwindSafe(op));
+        let mut status = self.sync.lock().expect("join status poisoned");
+        match outcome {
+            Ok(value) => status.result = Some(value),
+            Err(payload) => status.panic = Some(payload),
+        }
+        status.finished = true;
+        self.done.notify_all();
+        true
+    }
+}
+
+unsafe fn join_enter<B, RB>(data: *const ()) -> bool
+where
+    B: FnOnce() -> RB + Send,
+    RB: Send,
+{
+    // SAFETY: called under the injector lock on a listed job.
+    let job = unsafe { &*data.cast::<JoinJob<B, RB>>() };
+    if job.claimed.load(Ordering::Acquire) {
+        return false;
+    }
+    job.sync.lock().expect("join status poisoned").inside += 1;
+    true
+}
+
+unsafe fn join_run<B, RB>(data: *const (), _index: usize)
+where
+    B: FnOnce() -> RB + Send,
+    RB: Send,
+{
+    // SAFETY: registered via `join_enter`; the caller waits for us.
+    let job = unsafe { &*data.cast::<JoinJob<B, RB>>() };
+    job.try_execute();
+    let mut status = job.sync.lock().expect("join status poisoned");
+    status.inside -= 1;
+    if status.inside == 0 {
+        job.done.notify_all();
+    }
+}
+
+/// Runs the two closures, in parallel when a pool worker picks the second
+/// one up, and returns both results. See [`crate::join`].
+pub(crate) fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    let shared = shared();
+    if shared.threads == 1 {
+        return (a(), b());
+    }
+    let job: JoinJob<B, RB> = JoinJob {
+        claimed: AtomicBool::new(false),
+        op: UnsafeCell::new(Some(b)),
+        sync: Mutex::new(JoinStatus { finished: false, inside: 0, result: None, panic: None }),
+        done: Condvar::new(),
+    };
+    let job_ref = JobRef {
+        data: std::ptr::from_ref(&job).cast(),
+        enter: join_enter::<B, RB>,
+        run: join_run::<B, RB>,
+    };
+    shared.injector.lock().expect("pool injector poisoned").push(job_ref);
+    shared.work_available.notify_one();
+
+    let ra = a();
+
+    // Run `b` ourselves unless a worker already claimed it.
+    job.try_execute();
+    shared
+        .injector
+        .lock()
+        .expect("pool injector poisoned")
+        .retain(|j| !std::ptr::eq(j.data, job_ref.data));
+    let mut status = job.sync.lock().expect("join status poisoned");
+    while !status.finished || status.inside > 0 {
+        status = job.done.wait(status).expect("join status poisoned");
+    }
+    let panic = status.panic.take();
+    let result = status.result.take();
+    drop(status);
+    if let Some(payload) = panic {
+        resume_unwind(payload);
+    }
+    (ra, result.expect("join closure finished without a result"))
+}
+
+/// The old shim's execution model, kept as a measured baseline: spawn scoped
+/// threads **per call** and hand each exactly one contiguous, statically
+/// chosen batch of the index space.
+pub mod baseline {
+    /// Runs `work(state, index)` for every `index in 0..len` on `batches`
+    /// fresh scoped threads, each owning one contiguous batch decided
+    /// upfront and one private `state`.
+    ///
+    /// This reproduces the pre-pool behaviour of both the shim (a scoped
+    /// spawn per parallel call) and the executor's static index chunks (an
+    /// expensive item serialises its whole batch behind it), so benches can
+    /// quantify what the persistent pool and dynamic chunking buy.
+    pub fn static_chunked<S, R, G, F>(len: usize, batches: usize, init: G, work: F) -> Vec<R>
+    where
+        S: Send,
+        R: Send,
+        G: Fn() -> S + Sync,
+        F: Fn(&mut S, usize) -> R + Sync,
+    {
+        let batches = batches.clamp(1, len.max(1));
+        if len == 0 || batches == 1 {
+            let mut state = init();
+            return (0..len).map(|i| work(&mut state, i)).collect();
+        }
+        let batch_len = len.div_ceil(batches);
+        let ranges: Vec<std::ops::Range<usize>> =
+            (0..len).step_by(batch_len).map(|start| start..(start + batch_len).min(len)).collect();
+        let mut per_batch: Vec<Vec<R>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = ranges
+                .into_iter()
+                .map(|range| {
+                    let init = &init;
+                    let work = &work;
+                    scope.spawn(move || {
+                        let mut state = init();
+                        range.map(|i| work(&mut state, i)).collect::<Vec<R>>()
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("static baseline worker panicked"))
+                .collect()
+        });
+        let mut out = Vec::with_capacity(len);
+        for batch in &mut per_batch {
+            out.append(batch);
+        }
+        out
+    }
+}

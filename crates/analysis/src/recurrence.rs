@@ -100,6 +100,47 @@ pub fn worst_case_segment_assignment(p: usize) -> Vec<u64> {
     ids
 }
 
+/// The scheduler-adversarial ring arrangement shared by the skewed
+/// scheduling bench and the determinism tests: the worst-case segment
+/// arrangement (realising `a(p)`, see [`worst_case_segment_assignment`])
+/// packed into the first quarter of an `n`-cycle, an ascending filler over
+/// the rest, and the global maximum at position `n - 1` (adjacent, around
+/// the ring, to the block — so the block's internal peaks survive).
+///
+/// The block's nodes average `Θ(log n)` largest-ID radius while the filler
+/// averages 1, so a static contiguous partition of the node indices hands
+/// one thread `Θ(n log n)` work while the others get `Θ(n)` — the clustered
+/// skew dynamic chunking removes. (A window of `w` consecutive positions
+/// can hold at most `a(w)` total radius plus one giant, so this is within a
+/// constant of the worst any assignment can do to a static scheduler on
+/// this problem.) Returns the position-to-identifier map, a permutation of
+/// `0..n`.
+///
+/// # Panics
+///
+/// Panics when `n < 8` (the construction needs a non-trivial block).
+#[must_use]
+pub fn clustered_adversarial_arrangement(n: usize) -> Vec<u64> {
+    assert!(n >= 8, "the clustered construction needs n >= 8");
+    let block = n / 4;
+    let segment = worst_case_segment_assignment(block);
+    let mut ids: Vec<u64> = vec![0; n];
+    // Top-`block` identifiers (below the global max) in the worst-case
+    // segment arrangement: ids n-1-block ..= n-2, disjoint from the filler.
+    let base = (n - 1 - block) as u64;
+    for (p, &seg_id) in segment.iter().enumerate() {
+        ids[p] = base + seg_id;
+    }
+    // Ascending filler (ids 0 .. n-1-block): every node's larger neighbour
+    // is one step away.
+    for (p, id) in ids.iter_mut().enumerate().take(n - 1).skip(block) {
+        *id = (p - block) as u64;
+    }
+    // The global maximum, adjacent (around the ring) to the block.
+    ids[n - 1] = (n - 1) as u64;
+    ids
+}
+
 /// Recursively assigns identifiers to `positions[start..start+len]`.
 fn fill_segment(ids: &mut [u64], start: usize, len: usize, next_id: &mut u64, splits: &[usize]) {
     if len == 0 {
@@ -194,5 +235,30 @@ mod tests {
         let splits = worst_split_positions(p);
         let max_pos = ids.iter().position(|&x| x == p as u64 - 1).unwrap();
         assert_eq!(max_pos, splits[p] - 1);
+    }
+
+    #[test]
+    fn clustered_arrangement_is_a_permutation_with_the_documented_shape() {
+        for n in [8usize, 33, 64, 1024] {
+            let ids = clustered_adversarial_arrangement(n);
+            assert_eq!(ids.len(), n);
+            let mut sorted = ids.clone();
+            sorted.sort_unstable();
+            let expected: Vec<u64> = (0..n as u64).collect();
+            assert_eq!(sorted, expected, "n = {n}");
+            // Global max adjacent to the block, block holds the next ids.
+            let block = n / 4;
+            assert_eq!(ids[n - 1], n as u64 - 1);
+            for (p, &id) in ids.iter().enumerate().take(block) {
+                assert!(
+                    (n - 1 - block) as u64 <= id && id < n as u64 - 1,
+                    "position {p} escaped the block's id range (n = {n})"
+                );
+            }
+            // Ascending filler.
+            for p in block + 1..n - 1 {
+                assert_eq!(ids[p], ids[p - 1] + 1, "filler not ascending at {p} (n = {n})");
+            }
+        }
     }
 }

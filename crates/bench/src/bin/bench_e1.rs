@@ -1,16 +1,25 @@
 //! E1 perf trajectory: wall time of the largest-ID radius sweep on the
 //! adversarial identity assignment, incremental engine vs the from-scratch
-//! baseline — plus the single-node probe loop, session reuse
-//! ([`FrozenExecutor`]) vs a per-call freeze ([`BallExecutor::run_node`]).
+//! baseline — plus the single-node probe loop (session reuse vs per-call
+//! freeze), the **skewed scheduling block** (clustered adversarial
+//! assignment, work-stealing vs static chunks vs the sequential reference)
+//! and the **pool block** (many small trials on the persistent pool vs the
+//! spawn-per-call baseline).
 //!
 //! Writes `BENCH_e1.json` (next to the current working directory) so the
-//! repository keeps a perf trajectory across PRs, and exits non-zero if the
-//! two engines disagree on any radius or output.
+//! repository keeps a perf trajectory across PRs, and exits non-zero if any
+//! two engines or schedules disagree on a radius or output.
 //!
 //! ```text
 //! cargo run --release -p avglocal-bench --bin bench_e1              # full sizes
 //! cargo run --release -p avglocal-bench --bin bench_e1 -- --quick   # smoke run
+//! AVG_LOCAL_THREADS=4 ./bench.sh                                    # pinned pool
 //! ```
+//!
+//! The worker-pool size is recorded in every block: scheduling comparisons
+//! only show wall-clock separation when the pool has real cores underneath
+//! (`available_parallelism` is recorded too, so a 1-core container's ~1×
+//! ratios are self-explanatory).
 
 use std::env;
 use std::fmt::Write as _;
@@ -18,8 +27,9 @@ use std::fs;
 use std::time::Instant;
 
 use avglocal::algorithms::LargestId;
+use avglocal::analysis::recurrence::clustered_adversarial_arrangement;
 use avglocal::prelude::*;
-use avglocal::runtime::{BallExecution, BallExecutor, FrozenExecutor, Knowledge};
+use avglocal::runtime::{BallExecution, BallExecutor, FrozenExecutor, Knowledge, Scheduling};
 
 /// Repetitions per measurement; the minimum is reported.
 const REPS: usize = 3;
@@ -35,6 +45,30 @@ struct ProbeRow {
     n: usize,
     session_ms: f64,
     refreeze_ms: f64,
+}
+
+struct SkewRow {
+    n: usize,
+    total_radius: usize,
+    sequential_ms: f64,
+    static_ms: f64,
+    stealing_ms: f64,
+}
+
+struct PoolRow {
+    n: usize,
+    trials: usize,
+    pool_ms: f64,
+    spawn_ms: f64,
+}
+
+/// The scheduler-adversarial identifier assignment (see
+/// [`clustered_adversarial_arrangement`]): a worst-case `a(p)` block on one
+/// quarter of the ring, so a static contiguous partition hands one thread
+/// `Θ(n log n)` work while the others get `Θ(n)`.
+fn clustered_adversarial(n: usize) -> IdAssignment {
+    let ids = clustered_adversarial_arrangement(n).iter().map(|&id| id as usize).collect();
+    IdAssignment::from_vec(ids).expect("clustered adversarial ids form a permutation")
 }
 
 /// Times one pass of `probe` over every node of `graph`; the minimum over
@@ -64,9 +98,24 @@ fn measure(executor: &BallExecutor, graph: &Graph) -> (BallExecution<bool>, f64)
     (run.expect("REPS >= 1"), best)
 }
 
+/// Times `body` [`REPS`] times and returns `(last result, best ms)`.
+fn measure_ms<T>(mut body: impl FnMut() -> T) -> (T, f64) {
+    let mut best = f64::INFINITY;
+    let mut result = None;
+    for _ in 0..REPS {
+        let start = Instant::now();
+        result = Some(body());
+        best = best.min(start.elapsed().as_secs_f64() * 1e3);
+    }
+    (result.expect("REPS >= 1"), best)
+}
+
 fn main() {
     let quick = env::args().any(|a| a == "--quick");
     let sizes: &[usize] = if quick { &[256, 1024] } else { &[256, 1024, 4096] };
+    let threads = rayon::current_num_threads();
+    let cores = std::thread::available_parallelism().map_or(1, usize::from);
+    println!("pool: {threads} thread(s), machine: {cores} core(s)\n");
 
     println!("E1 largest-ID on the identity cycle: incremental vs from-scratch baseline");
     println!(
@@ -123,8 +172,100 @@ fn main() {
         probe_rows.push(ProbeRow { n, session_ms, refreeze_ms });
     }
 
-    let mut json =
-        String::from("{\n  \"experiment\": \"e1_largest_id_identity\",\n  \"rows\": [\n");
+    // The skewed scheduling datapoint: clustered adversarial assignment,
+    // dynamic work-stealing chunks vs the static contiguous partition vs the
+    // sequential reference — all three must agree bit for bit.
+    let skew_sizes: &[usize] = if quick { &[256, 1024] } else { &[1024, 4096, 16384] };
+    println!("\nE1 skewed scheduling: clustered adversarial assignment, {threads} thread(s)");
+    println!(
+        "{:>6} {:>14} {:>14} {:>11} {:>13} {:>14}",
+        "n", "total radius", "sequential ms", "static ms", "stealing ms", "static/steal"
+    );
+    let mut skew_rows = Vec::new();
+    for &n in skew_sizes {
+        let graph = cycle_with_assignment(n, &clustered_adversarial(n))
+            .expect("cycles of the benchmarked sizes are valid");
+        let csr = graph.freeze();
+        let sequential_exec = BallExecutor::new();
+        let (sequential, sequential_ms) = measure_ms(|| {
+            sequential_exec
+                .run_frozen_sequential(&csr, &LargestId, Knowledge::none())
+                .expect("largest-ID terminates")
+        });
+        let static_exec = BallExecutor::new().with_scheduling(Scheduling::StaticChunks);
+        let (static_run, static_ms) = measure_ms(|| {
+            static_exec.run_frozen(&csr, &LargestId, Knowledge::none()).expect("terminates")
+        });
+        let stealing_exec = BallExecutor::new().with_scheduling(Scheduling::WorkStealing);
+        let (stealing_run, stealing_ms) = measure_ms(|| {
+            stealing_exec.run_frozen(&csr, &LargestId, Knowledge::none()).expect("terminates")
+        });
+        assert_eq!(stealing_run.radii(), sequential.radii(), "stealing diverged at n={n}");
+        assert_eq!(stealing_run.outputs(), sequential.outputs(), "stealing diverged at n={n}");
+        assert_eq!(static_run.radii(), sequential.radii(), "static diverged at n={n}");
+        assert_eq!(static_run.outputs(), sequential.outputs(), "static diverged at n={n}");
+        println!(
+            "{:>6} {:>14} {:>14.3} {:>11.3} {:>13.3} {:>13.2}x",
+            n,
+            sequential.total_radius(),
+            sequential_ms,
+            static_ms,
+            stealing_ms,
+            static_ms / stealing_ms
+        );
+        skew_rows.push(SkewRow {
+            n,
+            total_radius: sequential.total_radius(),
+            sequential_ms,
+            static_ms,
+            stealing_ms,
+        });
+    }
+
+    // The pool datapoint: many small full runs — the persistent pool reuses
+    // its workers across calls, the baseline spawns scoped threads per call.
+    let (pool_n, pool_trials) = if quick { (128, 64) } else { (256, 512) };
+    println!("\nE1 pool reuse: {pool_trials} small runs at n={pool_n}, pool vs spawn-per-call");
+    let pool_graph = cycle_with_assignment(pool_n, &IdAssignment::Identity)
+        .expect("cycles of the benchmarked sizes are valid");
+    let pool_csr = pool_graph.freeze();
+    let ws_exec = BallExecutor::new();
+    let (pool_total, pool_ms) = measure_ms(|| {
+        (0..pool_trials)
+            .map(|_| {
+                ws_exec
+                    .run_frozen(&pool_csr, &LargestId, Knowledge::none())
+                    .expect("terminates")
+                    .total_radius()
+            })
+            .sum::<usize>()
+    });
+    let static_exec = BallExecutor::new().with_scheduling(Scheduling::StaticChunks);
+    let (spawn_total, spawn_ms) = measure_ms(|| {
+        (0..pool_trials)
+            .map(|_| {
+                static_exec
+                    .run_frozen(&pool_csr, &LargestId, Knowledge::none())
+                    .expect("terminates")
+                    .total_radius()
+            })
+            .sum::<usize>()
+    });
+    assert_eq!(pool_total, spawn_total, "pool and spawn paths disagree on total radius");
+    println!(
+        "{:>6} {:>8} {:>10.3} {:>10.3} {:>8.1}x",
+        pool_n,
+        pool_trials,
+        pool_ms,
+        spawn_ms,
+        spawn_ms / pool_ms
+    );
+    let pool_row = PoolRow { n: pool_n, trials: pool_trials, pool_ms, spawn_ms };
+
+    let mut json = String::from("{\n  \"experiment\": \"e1_largest_id_identity\",\n");
+    let _ = writeln!(json, "  \"threads\": {threads},");
+    let _ = writeln!(json, "  \"available_parallelism\": {cores},");
+    json.push_str("  \"rows\": [\n");
     for (i, row) in rows.iter().enumerate() {
         let _ = writeln!(
             json,
@@ -140,8 +281,10 @@ fn main() {
     json.push_str("  ],\n  \"run_node\": {\n");
     json.push_str(
         "    \"description\": \"per-node probes: FrozenExecutor session reuse vs \
-         BallExecutor::run_node freezing per call\",\n    \"rows\": [\n",
+         BallExecutor::run_node freezing per call\",\n",
     );
+    let _ = writeln!(json, "    \"threads\": {threads},");
+    json.push_str("    \"rows\": [\n");
     for (i, row) in probe_rows.iter().enumerate() {
         let _ = writeln!(
             json,
@@ -153,7 +296,44 @@ fn main() {
             if i + 1 == probe_rows.len() { "" } else { "," }
         );
     }
-    json.push_str("    ]\n  }\n}\n");
+    json.push_str("    ]\n  },\n  \"skewed\": {\n");
+    json.push_str(
+        "    \"description\": \"clustered adversarial largest-ID assignment (worst-case \
+         a(p) block on a quarter of the ring): dynamic work-stealing chunks vs the static \
+         contiguous partition vs the sequential reference; outputs bit-identical across \
+         all three\",\n",
+    );
+    let _ = writeln!(json, "    \"threads\": {threads},");
+    json.push_str("    \"rows\": [\n");
+    for (i, row) in skew_rows.iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "      {{\"n\": {}, \"total_radius\": {}, \"sequential_ms\": {:.3}, \"static_ms\": {:.3}, \"stealing_ms\": {:.3}, \"static_over_stealing\": {:.2}}}{}",
+            row.n,
+            row.total_radius,
+            row.sequential_ms,
+            row.static_ms,
+            row.stealing_ms,
+            row.static_ms / row.stealing_ms,
+            if i + 1 == skew_rows.len() { "" } else { "," }
+        );
+    }
+    json.push_str("    ]\n  },\n  \"pool\": {\n");
+    json.push_str(
+        "    \"description\": \"many small full runs: persistent worker pool (reused across \
+         calls) vs the spawn-per-call static baseline of the old shim\",\n",
+    );
+    let _ = writeln!(json, "    \"threads\": {threads},");
+    let _ = writeln!(
+        json,
+        "    \"rows\": [\n      {{\"n\": {}, \"trials\": {}, \"pool_ms\": {:.3}, \"spawn_ms\": {:.3}, \"speedup\": {:.1}}}\n    ]",
+        pool_row.n,
+        pool_row.trials,
+        pool_row.pool_ms,
+        pool_row.spawn_ms,
+        pool_row.spawn_ms / pool_row.pool_ms
+    );
+    json.push_str("  }\n}\n");
     fs::write("BENCH_e1.json", &json).expect("BENCH_e1.json must be writable");
     println!("\nwrote BENCH_e1.json");
 
@@ -172,5 +352,19 @@ fn main() {
             "acceptance: the frozen session must be >= 5x per-call freezing at n={} (got {speedup:.1}x)",
             last.n
         );
+    }
+    // The scheduling separation needs real cores underneath the pool: only
+    // gate on it when the machine can actually run the workers in parallel.
+    if !quick && threads >= 4 && cores >= 4 {
+        if let Some(last) = skew_rows.last() {
+            let ratio = last.static_ms / last.stealing_ms;
+            assert!(
+                ratio >= 1.5,
+                "acceptance: work-stealing must beat static chunks by >= 1.5x on the \
+                 clustered adversarial assignment at n={} with {threads} threads on \
+                 {cores} cores (got {ratio:.2}x; target is >= 2x)",
+                last.n
+            );
+        }
     }
 }

@@ -211,19 +211,27 @@ impl Sweep {
             // instead of re-freezing.
             let base = self.topology.build(n)?;
             let frozen_base = self.problem.uses_ball_view().then(|| base.freeze());
-            // Trials are independent and their seeds explicit, so they run in
-            // parallel; results are collected in trial order, keeping every
-            // aggregate bit-for-bit identical to a sequential sweep.
+            // Trials are independent and their seeds explicit, so they run on
+            // the work-stealing pool: the pool claims trials dynamically (a
+            // slow trial stalls only itself) and each participant keeps one
+            // session alive across every trial it steals — the snapshot is
+            // cloned once per participant, then each trial only swaps the
+            // identifier table. Results are collected in trial order, keeping
+            // every aggregate bit-for-bit identical to a sequential sweep.
             let per_trial: Vec<Result<(f64, f64, f64)>> = (0..self.trials)
                 .into_par_iter()
-                .map(|trial| {
-                    let assignment = self.policy.assignment_for_trial(trial);
-                    let mut graph = base.clone();
-                    assignment.apply(&mut graph)?;
-                    let profile = run_trial(self.problem, &graph, frozen_base.as_ref())?;
-                    let pair = MeasurePair::of(&profile);
-                    Ok((pair.worst_case, pair.average, profile.total() as f64))
-                })
+                .map_init(
+                    || None,
+                    |session, trial| {
+                        let assignment = self.policy.assignment_for_trial(trial);
+                        let mut graph = base.clone();
+                        assignment.apply(&mut graph)?;
+                        let profile =
+                            run_trial(self.problem, &graph, frozen_base.as_ref(), session)?;
+                        let pair = MeasurePair::of(&profile);
+                        Ok((pair.worst_case, pair.average, profile.total() as f64))
+                    },
+                )
                 .collect();
             let mut worst = Vec::with_capacity(self.trials);
             let mut averages = Vec::with_capacity(self.trials);
@@ -355,15 +363,20 @@ pub fn random_permutation_study_on(
     check_problem_supports_topology(problem, topology)?;
     let base = topology.build(n)?;
     let frozen_base = problem.uses_ball_view().then(|| base.freeze());
+    // Same machinery as `Sweep::run`: samples are claimed dynamically from
+    // the pool and each participant reuses one session across its samples.
     let per_sample: Vec<Result<(f64, f64)>> = (0..samples)
         .into_par_iter()
-        .map(|i| {
-            let assignment = IdAssignment::Shuffled { seed: derive_seed(base_seed, i as u64) };
-            let mut graph = base.clone();
-            assignment.apply(&mut graph)?;
-            let profile = run_trial(problem, &graph, frozen_base.as_ref())?;
-            Ok((profile.average(), profile.max() as f64))
-        })
+        .map_init(
+            || None,
+            |session, i| {
+                let assignment = IdAssignment::Shuffled { seed: derive_seed(base_seed, i as u64) };
+                let mut graph = base.clone();
+                assignment.apply(&mut graph)?;
+                let profile = run_trial(problem, &graph, frozen_base.as_ref(), session)?;
+                Ok((profile.average(), profile.max() as f64))
+            },
+        )
         .collect();
     let mut averages = Vec::with_capacity(samples);
     let mut worsts = Vec::with_capacity(samples);
@@ -398,21 +411,25 @@ pub fn random_permutation_study(
 }
 
 /// Runs one trial of `problem` on `graph`, routing ball-view problems
-/// through a [`FrozenExecutor`] session built from the shared per-size
-/// snapshot. Cloning a [`CsrGraph`] shares the frozen adjacency and copies
-/// only the `O(n)` identifier table, so per-trial setup never re-freezes the
-/// `O(n + m)` structure.
+/// through a [`FrozenExecutor`] session kept in `session` across the trials
+/// a pool participant claims. The session is created at most once per
+/// participant (cloning the [`CsrGraph`] shares the frozen adjacency and
+/// copies only the `O(n)` identifier table); each trial then swaps the
+/// identifier table in place, so per-trial setup neither re-freezes the
+/// `O(n + m)` structure nor re-clones the snapshot, and the session's
+/// grower scratch stays warm from trial to trial.
 fn run_trial(
     problem: Problem,
     graph: &Graph,
     frozen_base: Option<&CsrGraph>,
+    session: &mut Option<FrozenExecutor>,
 ) -> Result<RadiusProfile> {
     match frozen_base {
         Some(csr) => {
-            let mut session = FrozenExecutor::from_csr(csr.clone());
+            let session = session.get_or_insert_with(|| FrozenExecutor::from_csr(csr.clone()));
             let identifiers: Vec<_> = graph.identifiers().collect();
             session.set_identifiers(&identifiers);
-            problem.run_with_session(graph, &session)
+            problem.run_with_session(graph, session)
         }
         None => problem.run(graph),
     }

@@ -9,23 +9,34 @@
 //! # Performance
 //!
 //! The executor freezes the graph into a [`CsrGraph`] snapshot once, then
-//! drives one incremental [`BallGrower`] per worker thread: probing a node at
-//! radii `0, 1, …, r(v)` costs `Θ(ball(v))` edges in total instead of the
-//! `Θ(r(v)²)` a from-scratch extraction per probe would cost, and the grower
-//! reuses its scratch buffers across the nodes of a chunk (no per-probe
-//! allocation in the steady state). Nodes are processed in parallel in
-//! index-ordered chunks, so outputs and radii are deterministic.
+//! drives one incremental [`BallGrower`] per pool participant: probing a
+//! node at radii `0, 1, …, r(v)` costs `Θ(ball(v))` edges in total instead
+//! of the `Θ(r(v)²)` a from-scratch extraction per probe would cost.
 //!
-//! The pre-CSR behaviour — a fresh [`extract_ball`] per probe — is preserved
-//! behind [`BallExecutor::from_scratch_baseline`] so benches and tests can
-//! quantify the difference.
+//! Nodes are scheduled **dynamically**: the persistent worker pool hands out
+//! fine-grained index chunks from an atomic cursor, so on the paper's skewed
+//! workloads — one `Θ(n)` node among `n - 1` cheap ones under an adversarial
+//! identifier assignment — the expensive node stalls only its own small
+//! chunk while the other participants steal the rest. Each participant
+//! reuses one scratch buffer across every chunk it claims (no per-probe
+//! allocation in the steady state), results are written into index-addressed
+//! slots, and the first error in node order wins — outputs, radii and error
+//! selection are bit-identical to the sequential reference
+//! ([`BallExecutor::run_frozen_sequential`]) no matter how chunks are stolen.
+//!
+//! The pre-pool behaviours are preserved as measured baselines:
+//! [`Scheduling::StaticChunks`] reproduces the static contiguous partition
+//! on spawn-per-call scoped threads, and
+//! [`BallExecutor::from_scratch_baseline`] the quadratic
+//! fresh-[`extract_ball`]-per-probe engine.
 
-use avglocal_graph::{extract_ball, BallGrower, CsrGraph, Graph, NodeId};
+use avglocal_graph::{extract_ball, BallGrower, CsrGraph, Graph, GrowerScratch, NodeId};
 use rayon::prelude::*;
 
 use crate::algorithm::BallAlgorithm;
 use crate::error::{Result, RuntimeError};
 use crate::knowledge::Knowledge;
+use crate::scratch::ScratchPool;
 use crate::view::LocalView;
 
 /// The result of a ball-view execution: per-node outputs and radii.
@@ -117,6 +128,25 @@ pub enum GrowthStrategy {
     FromScratch,
 }
 
+/// How the per-node work of a full run is distributed over the threads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Scheduling {
+    /// Fine-grained dynamic chunks claimed from the persistent worker pool's
+    /// atomic cursor — idle participants steal the remaining chunks, so a
+    /// single expensive node cannot serialise a large static chunk behind
+    /// it. The default.
+    #[default]
+    WorkStealing,
+    /// The pre-pool behaviour: one contiguous, statically chosen batch of
+    /// nodes per thread, executed on fresh scoped threads spawned for the
+    /// call. (The old engine nominally cut 4 ranges per thread, but the old
+    /// shim then handed each spawned thread 4 *consecutive* ranges — one
+    /// contiguous `n/threads` span per thread, which is exactly what this
+    /// reproduces.) Kept as the measured baseline for the skewed-workload
+    /// benches.
+    StaticChunks,
+}
+
 /// Executor for [`BallAlgorithm`]s.
 ///
 /// # Examples
@@ -141,6 +171,7 @@ pub enum GrowthStrategy {
 pub struct BallExecutor {
     max_radius: Option<usize>,
     strategy: GrowthStrategy,
+    scheduling: Scheduling,
 }
 
 impl BallExecutor {
@@ -148,13 +179,13 @@ impl BallExecutor {
     /// which is always enough because views saturate at the component).
     #[must_use]
     pub fn new() -> Self {
-        BallExecutor { max_radius: None, strategy: GrowthStrategy::Incremental }
+        BallExecutor::default()
     }
 
     /// Creates an executor that refuses to grow balls beyond `max_radius`.
     #[must_use]
     pub fn with_max_radius(max_radius: usize) -> Self {
-        BallExecutor { max_radius: Some(max_radius), strategy: GrowthStrategy::Incremental }
+        BallExecutor { max_radius: Some(max_radius), ..BallExecutor::default() }
     }
 
     /// Creates an executor that re-extracts every ball from scratch at every
@@ -162,7 +193,7 @@ impl BallExecutor {
     /// baseline for benches and equivalence tests.
     #[must_use]
     pub fn from_scratch_baseline() -> Self {
-        BallExecutor { max_radius: None, strategy: GrowthStrategy::FromScratch }
+        BallExecutor { strategy: GrowthStrategy::FromScratch, ..BallExecutor::default() }
     }
 
     /// Sets the growth strategy, keeping the other settings.
@@ -176,6 +207,20 @@ impl BallExecutor {
     #[must_use]
     pub fn strategy(&self) -> GrowthStrategy {
         self.strategy
+    }
+
+    /// Sets how full runs are distributed over the threads, keeping the
+    /// other settings.
+    #[must_use]
+    pub fn with_scheduling(mut self, scheduling: Scheduling) -> Self {
+        self.scheduling = scheduling;
+        self
+    }
+
+    /// The scheduling policy this executor uses for full runs.
+    #[must_use]
+    pub fn scheduling(&self) -> Scheduling {
+        self.scheduling
     }
 
     /// Runs `algorithm` on every node of `graph` and collects outputs and
@@ -229,45 +274,99 @@ impl BallExecutor {
         A: BallAlgorithm + Sync,
         A::Output: Send,
     {
+        self.run_frozen_with_pool(csr, algorithm, knowledge, &ScratchPool::new())
+    }
+
+    /// [`BallExecutor::run_frozen`] drawing its per-participant grower
+    /// scratch from `scratch_pool`, so a session running many sweeps keeps
+    /// the buffers warm across runs (see [`crate::FrozenExecutor`]).
+    pub(crate) fn run_frozen_with_pool<A>(
+        &self,
+        csr: &CsrGraph,
+        algorithm: &A,
+        knowledge: Knowledge,
+        scratch_pool: &ScratchPool,
+    ) -> Result<BallExecution<A::Output>>
+    where
+        A: BallAlgorithm + Sync,
+        A::Output: Send,
+    {
         let n = csr.node_count();
         if n == 0 {
             return Ok(BallExecution { outputs: Vec::new(), radii: Vec::new() });
         }
         let hard_limit = self.max_radius.unwrap_or(n);
 
-        // Chunks are contiguous and processed independently; a few chunks per
-        // thread smooth out the wildly uneven per-node costs (on the paper's
-        // workloads a single node can cost Θ(n) while the rest cost O(1)).
-        let chunk_count = (rayon::current_num_threads() * 4).clamp(1, n);
-        let chunk_len = n.div_ceil(chunk_count);
-        let ranges: Vec<std::ops::Range<usize>> =
-            (0..n).step_by(chunk_len).map(|start| start..(start + chunk_len).min(n)).collect();
+        // One `(output, radius)` probe per node. Each participant checks one
+        // scratch out of the pool on its first chunk and reuses it for every
+        // chunk it claims; results land in index-addressed slots, so outputs
+        // are deterministic by position no matter who stole which chunk.
+        let probe = |pooled: &mut crate::scratch::PooledScratch<'_>, index: usize| {
+            let (result, scratch) = probe_node_on_csr(
+                csr,
+                pooled.take(),
+                NodeId::new(index),
+                algorithm,
+                &knowledge,
+                hard_limit,
+            );
+            pooled.put(scratch);
+            result
+        };
+        let per_node: Vec<Result<(A::Output, usize)>> = match self.scheduling {
+            Scheduling::WorkStealing => {
+                (0..n).into_par_iter().map_init(|| scratch_pool.checkout(), probe).collect()
+            }
+            Scheduling::StaticChunks => rayon::pool::baseline::static_chunked(
+                n,
+                rayon::current_num_threads(),
+                || scratch_pool.checkout(),
+                probe,
+            ),
+        };
+        collect_execution(per_node)
+    }
 
-        let per_chunk: Vec<Result<ChunkResults<A::Output>>> = ranges
-            .into_par_iter()
-            .map(|range| {
-                let mut grower = BallGrower::new(csr, NodeId::new(range.start));
-                let mut chunk = Vec::with_capacity(range.len());
-                for index in range {
-                    grower.reset(NodeId::new(index));
-                    chunk.push(drive_grower(&mut grower, algorithm, &knowledge, hard_limit)?);
-                }
-                Ok(chunk)
-            })
-            .collect();
-
+    /// The plain sequential reference: one grower, nodes probed left to
+    /// right on the calling thread. The parallel schedules are tested to be
+    /// bit-identical (outputs, radii and error selection) to this.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`BallExecutor::run`].
+    pub fn run_frozen_sequential<A>(
+        &self,
+        csr: &CsrGraph,
+        algorithm: &A,
+        knowledge: Knowledge,
+    ) -> Result<BallExecution<A::Output>>
+    where
+        A: BallAlgorithm,
+    {
+        let n = csr.node_count();
+        if n == 0 {
+            return Ok(BallExecution { outputs: Vec::new(), radii: Vec::new() });
+        }
+        let hard_limit = self.max_radius.unwrap_or(n);
+        let mut grower = BallGrower::new(csr, NodeId::new(0));
         let mut outputs = Vec::with_capacity(n);
         let mut radii = Vec::with_capacity(n);
-        for chunk in per_chunk {
-            for (output, radius) in chunk? {
-                outputs.push(output);
-                radii.push(radius);
-            }
+        for index in 0..n {
+            grower.reset(NodeId::new(index));
+            let (output, radius) = drive_grower(&mut grower, algorithm, &knowledge, hard_limit)?;
+            outputs.push(output);
+            radii.push(radius);
         }
         Ok(BallExecution { outputs, radii })
     }
 
     /// Runs `algorithm` for a single node and returns `(output, radius)`.
+    ///
+    /// With the incremental strategy this freezes a fresh snapshot and then
+    /// probes through the same borrowed-CSR path as
+    /// [`crate::FrozenExecutor::run_node`] — callers probing **many** single
+    /// nodes should use that session API directly, which freezes once and
+    /// keeps the grower scratch warm across probes.
     ///
     /// # Errors
     ///
@@ -283,8 +382,15 @@ impl BallExecutor {
         match self.strategy {
             GrowthStrategy::Incremental => {
                 let csr = graph.freeze();
-                let mut grower = BallGrower::new(&csr, node);
-                drive_grower(&mut grower, algorithm, &knowledge, hard_limit)
+                let (result, _scratch) = probe_node_on_csr(
+                    &csr,
+                    GrowerScratch::default(),
+                    node,
+                    algorithm,
+                    &knowledge,
+                    hard_limit,
+                );
+                result
             }
             GrowthStrategy::FromScratch => {
                 run_node_from_scratch(graph, node, algorithm, &knowledge, hard_limit)
@@ -311,8 +417,36 @@ impl BallExecutor {
     }
 }
 
-/// The `(output, radius)` pairs of one chunk of nodes, in node order.
-type ChunkResults<O> = Vec<(O, usize)>;
+/// Assembles per-node probe results into a [`BallExecution`], surfacing the
+/// first error **in node order** — the same error a sequential
+/// left-to-right run would report, independent of chunk scheduling.
+fn collect_execution<O>(per_node: Vec<Result<(O, usize)>>) -> Result<BallExecution<O>> {
+    let mut outputs = Vec::with_capacity(per_node.len());
+    let mut radii = Vec::with_capacity(per_node.len());
+    for result in per_node {
+        let (output, radius) = result?;
+        outputs.push(output);
+        radii.push(radius);
+    }
+    Ok(BallExecution { outputs, radii })
+}
+
+/// Probes a single node of a frozen snapshot with a borrowed scratch and
+/// hands the (now warmed) scratch back — the one freeze-free probe path
+/// shared by [`BallExecutor::run_node`], [`crate::FrozenExecutor::run_node`]
+/// and the chunk loops of the full runs.
+pub(crate) fn probe_node_on_csr<A: BallAlgorithm>(
+    csr: &CsrGraph,
+    scratch: GrowerScratch,
+    node: NodeId,
+    algorithm: &A,
+    knowledge: &Knowledge,
+    hard_limit: usize,
+) -> (Result<(A::Output, usize)>, GrowerScratch) {
+    let mut grower = BallGrower::with_scratch(csr, node, scratch);
+    let result = drive_grower(&mut grower, algorithm, knowledge, hard_limit);
+    (result, grower.into_scratch())
+}
 
 /// Probes one node with the incremental grower until the algorithm decides.
 pub(crate) fn drive_grower<A: BallAlgorithm>(
@@ -463,6 +597,72 @@ mod tests {
         assert_eq!(exec.strategy(), GrowthStrategy::FromScratch);
         assert_eq!(BallExecutor::new().strategy(), GrowthStrategy::Incremental);
         assert_eq!(BallExecutor::from_scratch_baseline().strategy(), GrowthStrategy::FromScratch);
+    }
+
+    #[test]
+    fn schedulings_are_selectable() {
+        assert_eq!(BallExecutor::new().scheduling(), Scheduling::WorkStealing);
+        let exec = BallExecutor::new().with_scheduling(Scheduling::StaticChunks);
+        assert_eq!(exec.scheduling(), Scheduling::StaticChunks);
+        assert_eq!(exec.strategy(), GrowthStrategy::Incremental);
+    }
+
+    #[test]
+    fn all_schedules_match_the_sequential_reference() {
+        // Adversarial (identity) and random assignments; outputs and radii
+        // must be bit-identical across work-stealing, static chunks and the
+        // sequential reference.
+        for assignment in [IdAssignment::Identity, IdAssignment::Shuffled { seed: 13 }] {
+            let mut g = generators::cycle(257).unwrap();
+            assignment.apply(&mut g).unwrap();
+            let csr = g.freeze();
+            let reference = BallExecutor::new()
+                .run_frozen_sequential(&csr, &NaiveLargestId, Knowledge::none())
+                .unwrap();
+            for scheduling in [Scheduling::WorkStealing, Scheduling::StaticChunks] {
+                let exec = BallExecutor::new().with_scheduling(scheduling);
+                let run = exec.run_frozen(&csr, &NaiveLargestId, Knowledge::none()).unwrap();
+                assert_eq!(run.outputs(), reference.outputs(), "{scheduling:?}");
+                assert_eq!(run.radii(), reference.radii(), "{scheduling:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn error_selection_is_in_node_order_under_stealing() {
+        // An algorithm that never decides for a band of node identifiers:
+        // every schedule must surface the *first* failing node in node
+        // order, exactly like the sequential run.
+        struct FailsOnSmallIds;
+        impl BallAlgorithm for FailsOnSmallIds {
+            type Output = u64;
+            fn decide(&self, view: &LocalView, _knowledge: &Knowledge) -> Option<u64> {
+                if view.center_identifier().value() % 3 == 1 {
+                    None
+                } else {
+                    Some(view.center_identifier().value())
+                }
+            }
+        }
+        let mut g = generators::cycle(200).unwrap();
+        IdAssignment::Shuffled { seed: 5 }.apply(&mut g).unwrap();
+        let csr = g.freeze();
+        let expected = BallExecutor::new()
+            .run_frozen_sequential(&csr, &FailsOnSmallIds, Knowledge::none())
+            .unwrap_err();
+        let RuntimeError::NonTerminating { node: expected_node } = expected else {
+            panic!("sequential reference must fail with NonTerminating");
+        };
+        for scheduling in [Scheduling::WorkStealing, Scheduling::StaticChunks] {
+            let err = BallExecutor::new()
+                .with_scheduling(scheduling)
+                .run_frozen(&csr, &FailsOnSmallIds, Knowledge::none())
+                .unwrap_err();
+            assert!(
+                matches!(err, RuntimeError::NonTerminating { node } if node == expected_node),
+                "{scheduling:?} selected a different error node: {err:?}"
+            );
+        }
     }
 
     #[test]

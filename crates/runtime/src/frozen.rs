@@ -4,20 +4,23 @@
 //! allocates fresh grower buffers on every call, so a caller probing many
 //! single nodes pays `O(n + m)` per probe before any ball is grown.
 //! [`FrozenExecutor`] is the session counterpart: it owns the [`CsrGraph`]
-//! and a detached [`GrowerScratch`], so after the first probe each
-//! [`FrozenExecutor::run_node`] costs only `Θ(ball(v))` — the same bound the
-//! full-graph executor achieves per node.
+//! and a pool of detached [`avglocal_graph::GrowerScratch`] buffers, so
+//! after the first probe each [`FrozenExecutor::run_node`] costs only
+//! `Θ(ball(v))` — the same bound the full-graph executor achieves per node —
+//! and repeated [`FrozenExecutor::run`] calls hand the same warmed buffers
+//! to the worker pool's participants.
 //!
 //! Experiment trials vary only the identifier assignment, never the
 //! adjacency, so the session also supports swapping the identifier table in
 //! `O(n)` via [`FrozenExecutor::set_identifiers`] instead of re-freezing.
 
-use avglocal_graph::{BallGrower, CsrGraph, Graph, GrowerScratch, Identifier, NodeId};
+use avglocal_graph::{CsrGraph, Graph, Identifier, NodeId};
 
 use crate::algorithm::BallAlgorithm;
-use crate::ball_executor::{drive_grower, BallExecution, BallExecutor};
+use crate::ball_executor::{probe_node_on_csr, BallExecution, BallExecutor};
 use crate::error::Result;
 use crate::knowledge::Knowledge;
+use crate::scratch::ScratchPool;
 
 /// A reusable execution session over one frozen graph snapshot.
 ///
@@ -47,7 +50,9 @@ use crate::knowledge::Knowledge;
 pub struct FrozenExecutor {
     csr: CsrGraph,
     max_radius: Option<usize>,
-    scratch: Option<GrowerScratch>,
+    /// Warmed grower scratch buffers, shared by the single-node probes and
+    /// (one per pool participant) the parallel full runs.
+    scratch_pool: ScratchPool,
 }
 
 impl FrozenExecutor {
@@ -60,7 +65,7 @@ impl FrozenExecutor {
     /// Creates a session over an already-frozen snapshot.
     #[must_use]
     pub fn from_csr(csr: CsrGraph) -> Self {
-        FrozenExecutor { csr, max_radius: None, scratch: None }
+        FrozenExecutor { csr, max_radius: None, scratch_pool: ScratchPool::new() }
     }
 
     /// Refuses to grow balls beyond `max_radius`, like
@@ -111,16 +116,18 @@ impl FrozenExecutor {
         knowledge: Knowledge,
     ) -> Result<(A::Output, usize)> {
         let hard_limit = self.max_radius.unwrap_or_else(|| self.csr.node_count());
-        let scratch = self.scratch.take().unwrap_or_default();
-        let mut grower = BallGrower::with_scratch(&self.csr, node, scratch);
-        let result = drive_grower(&mut grower, algorithm, &knowledge, hard_limit);
-        self.scratch = Some(grower.into_scratch());
+        let mut pooled = self.scratch_pool.checkout();
+        let (result, scratch) =
+            probe_node_on_csr(&self.csr, pooled.take(), node, algorithm, &knowledge, hard_limit);
+        pooled.put(scratch);
         result
     }
 
-    /// Runs `algorithm` on every node of the snapshot, with the same parallel
-    /// chunking and deterministic results as [`BallExecutor::run`] — minus
-    /// the per-call freeze.
+    /// Runs `algorithm` on every node of the snapshot, with the same dynamic
+    /// scheduling and deterministic results as [`BallExecutor::run`] — minus
+    /// the per-call freeze, and with the session's warmed scratch buffers
+    /// handed to the pool participants (steady-state runs allocate a bounded
+    /// handful of buffers per call, never per probe).
     ///
     /// # Errors
     ///
@@ -134,7 +141,7 @@ impl FrozenExecutor {
             Some(limit) => BallExecutor::with_max_radius(limit),
             None => BallExecutor::new(),
         };
-        executor.run_frozen(&self.csr, algorithm, knowledge)
+        executor.run_frozen_with_pool(&self.csr, algorithm, knowledge, &self.scratch_pool)
     }
 }
 

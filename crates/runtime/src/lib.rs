@@ -23,10 +23,15 @@
 //! The ball executor runs on a frozen CSR snapshot of the graph and grows
 //! each node's view **incrementally** (see [`avglocal_graph::BallGrower`]),
 //! handing algorithms a lazy [`LocalView`] whose cheap queries never
-//! materialise the induced subgraph; nodes are processed in parallel with
-//! deterministic, index-ordered results. The quadratic from-scratch probing
-//! behaviour remains available via [`BallExecutor::from_scratch_baseline`]
-//! for benches and equivalence tests.
+//! materialise the induced subgraph. Nodes are processed in parallel on a
+//! persistent work-stealing pool with **dynamically claimed chunks** — the
+//! right scheduling for the paper's skewed per-node costs, where one node
+//! pays `Θ(n)` while the rest pay `O(1)` — and results are index-addressed,
+//! so outputs, radii and error selection stay bit-identical to a sequential
+//! run ([`BallExecutor::run_frozen_sequential`]). The static-partition
+//! scheduling ([`Scheduling::StaticChunks`]) and the quadratic from-scratch
+//! probing ([`BallExecutor::from_scratch_baseline`]) remain available as
+//! measured baselines for benches and equivalence tests.
 //!
 //! Callers probing many single nodes should use [`FrozenExecutor`], the
 //! session counterpart of [`BallExecutor::run_node`]: it freezes the graph
@@ -65,12 +70,13 @@ mod executor;
 mod frozen;
 mod knowledge;
 mod message;
+mod scratch;
 mod trace;
 mod view;
 
 pub use adapter::{GatherAdapter, GatherState, Record};
 pub use algorithm::{BallAlgorithm, NodeContext, RoundAlgorithm};
-pub use ball_executor::{BallExecution, BallExecutor, GrowthStrategy};
+pub use ball_executor::{BallExecution, BallExecutor, GrowthStrategy, Scheduling};
 pub use error::{Result, RuntimeError};
 pub use executor::{Execution, SyncExecutor};
 pub use frozen::FrozenExecutor;

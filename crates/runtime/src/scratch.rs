@@ -1,0 +1,100 @@
+//! A shared pool of detached grower scratch buffers.
+//!
+//! The work-stealing executor hands every pool participant one
+//! [`GrowerScratch`] (via `map_init`) and the participant reuses it across
+//! every chunk it claims, preserving the zero-allocation steady state per
+//! probe. Between executor runs the buffers are parked here, so a session
+//! ([`crate::FrozenExecutor`]) that runs many sweeps re-warms nothing: the
+//! next run's participants check the warmed buffers straight back out.
+
+use std::sync::Mutex;
+
+use avglocal_graph::GrowerScratch;
+
+/// A lock-guarded stack of warmed [`GrowerScratch`] buffers.
+///
+/// The lock is taken once per participant per run (checkout on first chunk,
+/// return on job teardown), never per probe.
+#[derive(Debug, Default)]
+pub(crate) struct ScratchPool {
+    parked: Mutex<Vec<GrowerScratch>>,
+}
+
+impl ScratchPool {
+    /// Creates an empty pool.
+    pub(crate) fn new() -> Self {
+        ScratchPool::default()
+    }
+
+    /// Checks a scratch out of the pool (a warmed one when available), tied
+    /// to the pool by a guard that parks it again on drop.
+    pub(crate) fn checkout(&self) -> PooledScratch<'_> {
+        let scratch = self.parked.lock().expect("scratch pool poisoned").pop().unwrap_or_default();
+        PooledScratch { owner: self, scratch }
+    }
+}
+
+impl Clone for ScratchPool {
+    /// Cloning a pool clones the parked buffers, so a cloned session starts
+    /// as warm as the original.
+    fn clone(&self) -> Self {
+        ScratchPool {
+            parked: Mutex::new(self.parked.lock().expect("scratch pool poisoned").clone()),
+        }
+    }
+}
+
+/// A checked-out scratch; parks itself back into its pool on drop.
+#[derive(Debug)]
+pub(crate) struct PooledScratch<'a> {
+    owner: &'a ScratchPool,
+    scratch: GrowerScratch,
+}
+
+impl PooledScratch<'_> {
+    /// Takes the scratch out of the guard (leaving an empty one behind);
+    /// pair with [`PooledScratch::put`] around each grower borrow.
+    pub(crate) fn take(&mut self) -> GrowerScratch {
+        std::mem::take(&mut self.scratch)
+    }
+
+    /// Puts a (typically warmed) scratch back into the guard.
+    pub(crate) fn put(&mut self, scratch: GrowerScratch) {
+        self.scratch = scratch;
+    }
+}
+
+impl Drop for PooledScratch<'_> {
+    fn drop(&mut self) {
+        let scratch = std::mem::take(&mut self.scratch);
+        self.owner.parked.lock().expect("scratch pool poisoned").push(scratch);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn checkout_park_roundtrip_reuses_buffers() {
+        let pool = ScratchPool::new();
+        {
+            let mut guard = pool.checkout();
+            let scratch = guard.take();
+            guard.put(scratch);
+        }
+        // The parked buffer is handed out again.
+        assert_eq!(pool.parked.lock().unwrap().len(), 1);
+        let _a = pool.checkout();
+        assert_eq!(pool.parked.lock().unwrap().len(), 0);
+    }
+
+    #[test]
+    fn clone_carries_the_parked_buffers() {
+        let pool = ScratchPool::new();
+        drop(pool.checkout());
+        drop(pool.checkout());
+        let cloned = pool.clone();
+        assert_eq!(cloned.parked.lock().unwrap().len(), pool.parked.lock().unwrap().len());
+    }
+}
