@@ -3,12 +3,17 @@
 # (incremental vs from-scratch baseline, the run_node probe loop —
 # FrozenExecutor session reuse vs per-call freezing — the skewed scheduling
 # block — work-stealing vs static chunks on the clustered adversarial
-# assignment — and the pool block — persistent pool vs spawn-per-call) and
-# refreshes BENCH_e1.json.
+# assignment — the pool block — persistent pool vs spawn-per-call — and the
+# freeze block — parallel vs serial Graph::freeze) and refreshes
+# BENCH_e1.json.
 #
 # Pin the pool for reproducible timings: AVG_LOCAL_THREADS=4 ./bench.sh
 #
-# Usage: ./bench.sh [--quick]
+# Usage: ./bench.sh [--quick] [--check]
+#
+# --check evaluates the regression-gate table (one speedup gate per recorded
+# block) and exits non-zero if any applicable gate regressed — the step CI
+# runs on every push (`AVG_LOCAL_THREADS=4 ./bench.sh --quick --check`).
 set -eu
 cd "$(dirname "$0")"
 cargo run --release -p avglocal-bench --bin bench_e1 -- "$@"

@@ -3,7 +3,71 @@
 //! Every problem the library ships an algorithm for also ships a verifier, so
 //! tests and experiments never have to trust an algorithm's own claims.
 
-use avglocal_graph::Graph;
+use avglocal_graph::{ComponentLabels, Graph, Identifier};
+
+/// The largest identifier of each component, indexed by component label, or
+/// `None` when `labels` does not cover the graph.
+#[must_use]
+pub fn component_max_identifiers(
+    graph: &Graph,
+    labels: &ComponentLabels,
+) -> Option<Vec<Identifier>> {
+    if labels.node_count() != graph.node_count() {
+        return None;
+    }
+    let mut maxima: Vec<Option<Identifier>> = vec![None; labels.count()];
+    for v in graph.nodes() {
+        let slot = &mut maxima[labels.label(v) as usize];
+        let id = graph.identifier(v);
+        if slot.is_none_or(|m| id > m) {
+            *slot = Some(id);
+        }
+    }
+    // Every component has at least one node, so every slot is filled.
+    maxima.into_iter().collect()
+}
+
+/// Checks the component-scoped largest-ID outputs: within every connected
+/// component, exactly the node carrying that component's maximum identifier
+/// answered `true`.
+///
+/// On a connected graph this coincides with
+/// [`is_correct_largest_id`]; on a disconnected graph it is the natural
+/// semantics of the ball-growing algorithm, whose view saturates at the
+/// component boundary.
+#[must_use]
+pub fn is_correct_largest_id_per_component(
+    graph: &Graph,
+    labels: &ComponentLabels,
+    outputs: &[bool],
+) -> bool {
+    if outputs.len() != graph.node_count() {
+        return false;
+    }
+    let Some(maxima) = component_max_identifiers(graph, labels) else {
+        return false;
+    };
+    graph
+        .nodes()
+        .all(|v| outputs[v.index()] == (graph.identifier(v) == maxima[labels.label(v) as usize]))
+}
+
+/// Checks the component-scoped know-the-leader outputs: every node named the
+/// maximum identifier of its own component.
+#[must_use]
+pub fn is_component_leader_output(
+    graph: &Graph,
+    labels: &ComponentLabels,
+    outputs: &[Identifier],
+) -> bool {
+    if outputs.len() != graph.node_count() {
+        return false;
+    }
+    let Some(maxima) = component_max_identifiers(graph, labels) else {
+        return false;
+    };
+    graph.nodes().all(|v| outputs[v.index()] == maxima[labels.label(v) as usize])
+}
 
 /// Checks that `colors` (indexed by node) is a proper colouring of `graph`
 /// with at most `palette_size` colours.
@@ -144,5 +208,74 @@ mod tests {
         let mut outputs = vec![false; 4];
         outputs[3] = true;
         assert!(is_correct_largest_id(&g, &outputs));
+    }
+
+    /// Two components: a triangle on nodes {0, 1, 2} (ids 10, 30, 20) and an
+    /// edge on nodes {3, 4} (ids 50, 40).
+    fn two_components() -> (Graph, ComponentLabels) {
+        let mut g = Graph::new();
+        for id in [10u64, 30, 20, 50, 40] {
+            g.add_node(avglocal_graph::Identifier::new(id));
+        }
+        let v = avglocal_graph::NodeId::new;
+        g.add_edge(v(0), v(1)).unwrap();
+        g.add_edge(v(1), v(2)).unwrap();
+        g.add_edge(v(2), v(0)).unwrap();
+        g.add_edge(v(3), v(4)).unwrap();
+        let labels = ComponentLabels::of_graph(&g);
+        (g, labels)
+    }
+
+    #[test]
+    fn component_maxima_are_per_component() {
+        let (g, labels) = two_components();
+        let maxima = component_max_identifiers(&g, &labels).unwrap();
+        assert_eq!(maxima.len(), 2);
+        assert_eq!(maxima[0].value(), 30);
+        assert_eq!(maxima[1].value(), 50);
+    }
+
+    #[test]
+    fn per_component_largest_id_accepts_component_winners() {
+        let (g, labels) = two_components();
+        // One winner per component: node 1 (id 30) and node 3 (id 50).
+        assert!(is_correct_largest_id_per_component(
+            &g,
+            &labels,
+            &[false, true, false, true, false]
+        ));
+        // The *global* verifier rejects the same outputs (two winners)…
+        assert!(!is_correct_largest_id(&g, &[false, true, false, true, false]));
+        // …and the per-component verifier rejects a global-only winner.
+        assert!(!is_correct_largest_id_per_component(
+            &g,
+            &labels,
+            &[false, false, false, true, false]
+        ));
+        assert!(!is_correct_largest_id_per_component(&g, &labels, &[false; 3]));
+    }
+
+    #[test]
+    fn per_component_leader_outputs() {
+        let (g, labels) = two_components();
+        let id = avglocal_graph::Identifier::new;
+        assert!(is_component_leader_output(&g, &labels, &[id(30), id(30), id(30), id(50), id(50)]));
+        // Naming the global maximum from the wrong component is invalid.
+        assert!(!is_component_leader_output(
+            &g,
+            &labels,
+            &[id(50), id(50), id(50), id(50), id(50)]
+        ));
+        assert!(!is_component_leader_output(&g, &labels, &[id(30); 2]));
+    }
+
+    #[test]
+    fn per_component_checks_agree_with_global_on_connected_graphs() {
+        let g = generators::cycle(6).unwrap();
+        let labels = ComponentLabels::of_graph(&g);
+        let mut outputs = vec![false; 6];
+        outputs[5] = true;
+        assert!(is_correct_largest_id(&g, &outputs));
+        assert!(is_correct_largest_id_per_component(&g, &labels, &outputs));
     }
 }

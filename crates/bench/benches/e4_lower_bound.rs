@@ -40,7 +40,7 @@ fn bench_hill_climb_coloring(c: &mut Criterion) {
     group.sample_size(10);
     group.bench_function("landmark_n128", |b| {
         b.iter(|| {
-            let search = AdversarySearch::new(Problem::LandmarkColoring, Measure::Average);
+            let search = AdversarySearch::new(Problem::LandmarkColoring, Measure::NodeAveraged);
             black_box(search.hill_climb(128, 1, 20, 5).unwrap().objective)
         });
     });

@@ -2,19 +2,31 @@
 //! adversarial identity assignment, incremental engine vs the from-scratch
 //! baseline — plus the single-node probe loop (session reuse vs per-call
 //! freeze), the **skewed scheduling block** (clustered adversarial
-//! assignment, work-stealing vs static chunks vs the sequential reference)
-//! and the **pool block** (many small trials on the persistent pool vs the
-//! spawn-per-call baseline).
+//! assignment, work-stealing vs static chunks vs the sequential reference),
+//! the **pool block** (many small trials on the persistent pool vs the
+//! spawn-per-call baseline) and the **freeze block** (parallel vs serial
+//! `Graph::freeze`, bit-identical by assertion).
 //!
 //! Writes `BENCH_e1.json` (next to the current working directory) so the
 //! repository keeps a perf trajectory across PRs, and exits non-zero if any
 //! two engines or schedules disagree on a radius or output.
 //!
 //! ```text
-//! cargo run --release -p avglocal-bench --bin bench_e1              # full sizes
-//! cargo run --release -p avglocal-bench --bin bench_e1 -- --quick   # smoke run
-//! AVG_LOCAL_THREADS=4 ./bench.sh                                    # pinned pool
+//! cargo run --release -p avglocal-bench --bin bench_e1                # full sizes
+//! cargo run --release -p avglocal-bench --bin bench_e1 -- --quick     # smoke run
+//! cargo run --release -p avglocal-bench --bin bench_e1 -- --quick --check  # CI gate
+//! AVG_LOCAL_THREADS=4 ./bench.sh                                      # pinned pool
 //! ```
+//!
+//! `--check` evaluates the full regression-gate table (one speedup gate per
+//! recorded block) and exits non-zero if any gate regresses below its
+//! threshold — this is the step CI runs on every push. Gates that only
+//! develop their full separation with real cores underneath the pool
+//! (skewed scheduling, freeze speedup) use their full threshold on
+//! `>= 4`-core machines in full mode and a relaxed *sanity* threshold
+//! elsewhere; the pool-reuse gate degrades only on a 1-participant pool
+//! (where both paths run inline), since its win comes from reusing workers,
+//! not from real parallelism. Every block is gated on every run.
 //!
 //! The worker-pool size is recorded in every block: scheduling comparisons
 //! only show wall-clock separation when the pool has real cores underneath
@@ -24,6 +36,7 @@
 use std::env;
 use std::fmt::Write as _;
 use std::fs;
+use std::process::ExitCode;
 use std::time::Instant;
 
 use avglocal::algorithms::LargestId;
@@ -60,6 +73,50 @@ struct PoolRow {
     trials: usize,
     pool_ms: f64,
     spawn_ms: f64,
+}
+
+struct FreezeRow {
+    n: usize,
+    edges: usize,
+    serial_ms: f64,
+    parallel_ms: f64,
+}
+
+/// One regression gate of the `--check` suite: the measured speedup of a
+/// recorded block must stay at or above its threshold. Gates whose full
+/// separation needs real cores underneath the pool fall back to a relaxed
+/// *sanity* threshold elsewhere (quick mode, undersized machines), so every
+/// recorded block is gated on every run — a pathological regression can
+/// never hide behind a SKIP.
+struct Gate {
+    name: &'static str,
+    speedup: f64,
+    threshold: f64,
+    sanity: bool,
+}
+
+impl Gate {
+    /// A gate that always applies at its full threshold.
+    fn full(name: &'static str, speedup: f64, threshold: f64) -> Gate {
+        Gate { name, speedup, threshold, sanity: false }
+    }
+
+    /// A gate with its full threshold when `strong` holds and the relaxed
+    /// `sanity_threshold` otherwise.
+    fn scaled(
+        name: &'static str,
+        speedup: f64,
+        strong: bool,
+        full_threshold: f64,
+        sanity_threshold: f64,
+    ) -> Gate {
+        Gate {
+            name,
+            speedup,
+            threshold: if strong { full_threshold } else { sanity_threshold },
+            sanity: !strong,
+        }
+    }
 }
 
 /// The scheduler-adversarial identifier assignment (see
@@ -110,8 +167,9 @@ fn measure_ms<T>(mut body: impl FnMut() -> T) -> (T, f64) {
     (result.expect("REPS >= 1"), best)
 }
 
-fn main() {
+fn main() -> ExitCode {
     let quick = env::args().any(|a| a == "--quick");
+    let check = env::args().any(|a| a == "--check");
     let sizes: &[usize] = if quick { &[256, 1024] } else { &[256, 1024, 4096] };
     let threads = rayon::current_num_threads();
     let cores = std::thread::available_parallelism().map_or(1, usize::from);
@@ -262,6 +320,35 @@ fn main() {
     );
     let pool_row = PoolRow { n: pool_n, trials: pool_trials, pool_ms, spawn_ms };
 
+    // The freeze datapoint: parallel vs serial `Graph::freeze` (degree
+    // count, offset prefix sum, adjacency scatter and the connected-
+    // components labelling pass) — the last O(n + m) serial step in front of
+    // every parallel sweep. The two snapshots must be bit-identical (CSR
+    // arrays, identifiers and component labels).
+    let freeze_sizes: &[usize] = if quick { &[1 << 14, 1 << 16] } else { &[1 << 16, 1 << 18] };
+    println!("\nE1 freeze: parallel vs serial Graph::freeze, {threads} thread(s)");
+    println!(
+        "{:>8} {:>8} {:>11} {:>13} {:>9}",
+        "n", "edges", "serial ms", "parallel ms", "speedup"
+    );
+    let mut freeze_rows = Vec::new();
+    for &n in freeze_sizes {
+        let graph = cycle_with_assignment(n, &IdAssignment::Identity)
+            .expect("cycles of the benchmarked sizes are valid");
+        let (serial, serial_ms) = measure_ms(|| graph.freeze_serial());
+        let (parallel, parallel_ms) = measure_ms(|| graph.freeze_parallel());
+        assert_eq!(serial, parallel, "parallel freeze diverged from serial at n={n}");
+        println!(
+            "{:>8} {:>8} {:>11.3} {:>13.3} {:>8.2}x",
+            n,
+            serial.edge_count(),
+            serial_ms,
+            parallel_ms,
+            serial_ms / parallel_ms
+        );
+        freeze_rows.push(FreezeRow { n, edges: serial.edge_count(), serial_ms, parallel_ms });
+    }
+
     let mut json = String::from("{\n  \"experiment\": \"e1_largest_id_identity\",\n");
     let _ = writeln!(json, "  \"threads\": {threads},");
     let _ = writeln!(json, "  \"available_parallelism\": {cores},");
@@ -333,38 +420,102 @@ fn main() {
         pool_row.spawn_ms,
         pool_row.spawn_ms / pool_row.pool_ms
     );
-    json.push_str("  }\n}\n");
+    json.push_str("  },\n  \"freeze\": {\n");
+    json.push_str(
+        "    \"description\": \"Graph::freeze parallel vs serial: degree count, offset prefix \
+         sum, adjacency scatter and connected-components labelling; snapshots bit-identical \
+         by assertion\",\n",
+    );
+    let _ = writeln!(json, "    \"threads\": {threads},");
+    json.push_str("    \"rows\": [\n");
+    for (i, row) in freeze_rows.iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "      {{\"n\": {}, \"edges\": {}, \"serial_ms\": {:.3}, \"parallel_ms\": {:.3}, \"speedup\": {:.2}}}{}",
+            row.n,
+            row.edges,
+            row.serial_ms,
+            row.parallel_ms,
+            row.serial_ms / row.parallel_ms,
+            if i + 1 == freeze_rows.len() { "" } else { "," }
+        );
+    }
+    json.push_str("    ]\n  }\n}\n");
     fs::write("BENCH_e1.json", &json).expect("BENCH_e1.json must be writable");
     println!("\nwrote BENCH_e1.json");
 
+    // The regression-gate table: one gate per recorded block, evaluated on
+    // every run. The scheduling separation and the freeze speedup only
+    // develop their full ratios with >= 4 real cores underneath the pool and
+    // full-size inputs, so elsewhere (quick mode, undersized machines) they
+    // gate at a relaxed sanity threshold instead — enough to catch a
+    // pathological regression without flaking on shared CI runners. The
+    // pool-reuse gate degrades the same way on a 1-participant pool, where
+    // both paths run inline and there is no spawn overhead to save.
+    let machine_parallel = threads >= 4 && cores >= 4;
+    let strong_separation = !quick && machine_parallel;
+    let mut gates = Vec::new();
     if let Some(last) = rows.last() {
-        let speedup = last.baseline_ms / last.incremental_ms;
-        assert!(
-            speedup >= 10.0,
-            "acceptance: incremental engine must be >= 10x the baseline at n={} (got {speedup:.1}x)",
-            last.n
-        );
+        gates.push(Gate::full(
+            "rows: incremental engine vs from-scratch baseline",
+            last.baseline_ms / last.incremental_ms,
+            10.0,
+        ));
     }
     if let Some(last) = probe_rows.last() {
-        let speedup = last.refreeze_ms / last.session_ms;
-        assert!(
-            speedup >= 5.0,
-            "acceptance: the frozen session must be >= 5x per-call freezing at n={} (got {speedup:.1}x)",
-            last.n
+        gates.push(Gate::full(
+            "run_node: frozen session vs per-call refreeze",
+            last.refreeze_ms / last.session_ms,
+            5.0,
+        ));
+    }
+    gates.push(Gate::scaled(
+        "pool: persistent pool vs spawn-per-call",
+        pool_row.spawn_ms / pool_row.pool_ms,
+        threads >= 2,
+        1.5,
+        0.5,
+    ));
+    if let Some(last) = skew_rows.last() {
+        gates.push(Gate::scaled(
+            "skewed: work-stealing vs static chunks",
+            last.static_ms / last.stealing_ms,
+            strong_separation,
+            1.5,
+            0.33,
+        ));
+    }
+    if let Some(last) = freeze_rows.last() {
+        gates.push(Gate::scaled(
+            "freeze: parallel vs serial Graph::freeze",
+            last.serial_ms / last.parallel_ms,
+            strong_separation,
+            1.15,
+            0.25,
+        ));
+    }
+
+    println!("\nregression gates ({threads} thread(s), {cores} core(s)):");
+    let mut failed = false;
+    for gate in &gates {
+        let status = if gate.speedup >= gate.threshold {
+            "PASS"
+        } else {
+            failed = true;
+            "FAIL"
+        };
+        let kind = if gate.sanity { "sanity gate" } else { "gate" };
+        println!(
+            "  [{status}] {:<48} {:>7.2}x ({kind} {:.2}x)",
+            gate.name, gate.speedup, gate.threshold
         );
     }
-    // The scheduling separation needs real cores underneath the pool: only
-    // gate on it when the machine can actually run the workers in parallel.
-    if !quick && threads >= 4 && cores >= 4 {
-        if let Some(last) = skew_rows.last() {
-            let ratio = last.static_ms / last.stealing_ms;
-            assert!(
-                ratio >= 1.5,
-                "acceptance: work-stealing must beat static chunks by >= 1.5x on the \
-                 clustered adversarial assignment at n={} with {threads} threads on \
-                 {cores} cores (got {ratio:.2}x; target is >= 2x)",
-                last.n
-            );
+    if failed {
+        eprintln!("a recorded speedup block regressed below its gate");
+        if check {
+            return ExitCode::FAILURE;
         }
+        panic!("regression gates failed (run with --check for a non-panicking exit)");
     }
+    ExitCode::SUCCESS
 }

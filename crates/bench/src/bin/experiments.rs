@@ -1,4 +1,4 @@
-//! Prints the result tables of experiments E1–E7 (see `EXPERIMENTS.md`).
+//! Prints the result tables of experiments E1–E8 (see `EXPERIMENTS.md`).
 //!
 //! Usage:
 //!
@@ -6,6 +6,7 @@
 //! cargo run --release -p avglocal-bench --bin experiments             # all experiments
 //! cargo run --release -p avglocal-bench --bin experiments -- --e3    # only E3
 //! cargo run --release -p avglocal-bench --bin experiments -- --e7    # cross-topology sweep
+//! cargo run --release -p avglocal-bench --bin experiments -- --e8    # measure comparison
 //! cargo run --release -p avglocal-bench --bin experiments -- --quick # reduced sizes
 //! cargo run --release -p avglocal-bench --bin experiments -- --csv   # CSV output
 //! ```
@@ -19,11 +20,11 @@ fn main() {
     let quick = args.iter().any(|a| a == "--quick");
     let csv = args.iter().any(|a| a == "--csv");
     let selected: Vec<usize> =
-        (1..=7).filter(|i| args.iter().any(|a| a == &format!("--e{i}"))).collect();
+        (1..=8).filter(|i| args.iter().any(|a| a == &format!("--e{i}"))).collect();
     let run_all = selected.is_empty();
 
     type TableBuilder = fn(bool) -> avglocal::report::Table;
-    let builders: [(usize, TableBuilder); 7] = [
+    let builders: [(usize, TableBuilder); 8] = [
         (1, tables::table_e1),
         (2, tables::table_e2),
         (3, tables::table_e3),
@@ -31,6 +32,7 @@ fn main() {
         (5, tables::table_e5),
         (6, tables::table_e6),
         (7, tables::table_e7),
+        (8, tables::table_e8),
     ];
 
     println!("avglocal experiment harness ({} sizes)\n", if quick { "quick" } else { "full" });
@@ -46,7 +48,7 @@ fn main() {
         }
     }
 
-    // The figures accompany E1, E3 and E7; skip them in CSV mode.
+    // The figures accompany E1, E3, E7 and E8; skip them in CSV mode.
     if !csv {
         if run_all || selected.contains(&1) {
             println!("{}", avglocal_bench::figure_f1(quick));
@@ -56,6 +58,9 @@ fn main() {
         }
         if run_all || selected.contains(&7) {
             println!("{}", avglocal_bench::figure_f3(quick));
+        }
+        if run_all || selected.contains(&8) {
+            println!("{}", avglocal_bench::figure_f4(quick));
         }
     }
 }

@@ -9,6 +9,7 @@ use avglocal::analysis::fit::{best_model, GrowthModel};
 use avglocal::analysis::{a000788, recurrence};
 use avglocal::prelude::*;
 use avglocal::report::fmt_float;
+use avglocal::SweepRow;
 
 /// E1 — the exponential separation for the largest-ID problem (Section 2).
 ///
@@ -176,7 +177,7 @@ pub fn table_e4(quick: bool) -> Table {
             let section3 = section3_assignment(problem, n)
                 .and_then(|a| run_on_cycle(problem, n, &a))
                 .expect("section 3 construction runs on cycles");
-            let climbed = AdversarySearch::new(problem, Measure::Average)
+            let climbed = AdversarySearch::new(problem, Measure::NodeAveraged)
                 .hill_climb(n, 1, if quick { 20 } else { 80 }, 11)
                 .expect("hill climbing runs on cycles");
             table.push_row(vec![
@@ -420,6 +421,145 @@ pub fn figure_f2(quick: bool) -> String {
         ])
 }
 
+/// The E8 sizes of the adversarial-cycle section.
+fn e8_exponents(quick: bool) -> Vec<u32> {
+    if quick {
+        vec![4, 6, 8]
+    } else {
+        vec![4, 6, 8, 10, 12]
+    }
+}
+
+/// Formats the `worst/node` separation column.
+fn fmt_ratio(numerator: f64, denominator: f64) -> String {
+    if denominator == 0.0 {
+        "-".to_string()
+    } else {
+        format!("{:.1}x", numerator / denominator)
+    }
+}
+
+/// One E8 table row: every measure of a sweep row under the given setting
+/// label. Single definition, so the table's columns cannot drift between
+/// the three sections.
+fn e8_row(setting: String, row: &SweepRow) -> Vec<String> {
+    vec![
+        setting,
+        row.n.to_string(),
+        fmt_float(row.average),
+        fmt_float(row.edge_averaged),
+        fmt_float(row.median),
+        fmt_float(row.worst_case),
+        fmt_ratio(row.worst_case, row.average),
+        fmt_ratio(row.edge_averaged, row.average),
+        row.components.to_string(),
+    ]
+}
+
+/// E8 — the measure layer: node-averaged vs edge-averaged vs worst case.
+///
+/// Three sections, all fed by **one execution per row** (the sweep layer
+/// folds every measure out of the same radius vector):
+///
+/// 1. *Adversarial cycle* (identity identifiers): the worst case grows as
+///    `Θ(n)` (the winner sees half the ring) while the node-averaged,
+///    edge-averaged and median radii all stay `O(1)` — the cycle is
+///    2-regular, so the edge average is sandwiched within a factor of two of
+///    the node average and inherits the paper's separation against the worst
+///    case.
+/// 2. *Topology families* under random identifiers: the `edge/node` column
+///    stays in `[1, 2]` for the regular families (cycle, torus) and drifts
+///    inside the same band for the others — bounded degree keeps the two
+///    averages glued together.
+/// 3. *Subcritical `G(n, p)`* in per-component mode: isolated nodes dilute
+///    the node average but not the edge average, so `edge/node` detaches —
+///    the measures genuinely disagree once the instance falls apart.
+#[must_use]
+pub fn table_e8(quick: bool) -> Table {
+    let mut table = Table::new(
+        "E8: measures compared — node-averaged vs edge-averaged vs worst case",
+        &[
+            "setting",
+            "n",
+            "node avg",
+            "edge avg (max)",
+            "median",
+            "worst case",
+            "worst/node",
+            "edge/node",
+            "components",
+        ],
+    );
+    // Section 1: the adversarial identity cycle.
+    for &k in &e8_exponents(quick) {
+        let n = 1usize << k;
+        let result = Sweep::new(Problem::LargestId, vec![n])
+            .with_policy(AssignmentPolicy::Fixed(IdAssignment::Identity))
+            .run()
+            .expect("largest-ID sweep cannot fail on cycles");
+        table.push_row(e8_row("cycle, identity ids".to_string(), &result.rows[0]));
+    }
+    // Section 2: every topology family under random identifiers.
+    let n = if quick { 64 } else { 1024 };
+    let trials = if quick { 2 } else { 3 };
+    for (name, family) in e7_topologies() {
+        let result = Sweep::on(Problem::LargestId, family(n), vec![n])
+            .with_policy(AssignmentPolicy::Random { base_seed: 17 })
+            .with_trials(trials)
+            .run()
+            .expect("largest-ID sweep runs on every connected E8 topology");
+        table.push_row(e8_row(format!("{name}, random ids"), &result.rows[0]));
+    }
+    // Section 3: subcritical G(n, p), per-component semantics.
+    let n = if quick { 64 } else { 256 };
+    let p = 1.0 / n as f64; // well below the ln(n)/n connectivity threshold
+    let result = Sweep::on(Problem::LargestId, Topology::Gnp { p, seed: 13 }, vec![n])
+        .with_policy(AssignmentPolicy::Random { base_seed: 23 })
+        .with_trials(trials)
+        .with_component_mode(ComponentMode::PerComponent)
+        .run()
+        .expect("per-component sweeps accept disconnected G(n, p)");
+    table.push_row(e8_row("gnp subcritical, per-component".to_string(), &result.rows[0]));
+    table
+}
+
+/// Figure F4 — the E8 separation: on the adversarial identity cycle the
+/// worst-case radius grows linearly while the node-averaged, edge-averaged
+/// and median radii all stay flat. The averaged curves hugging the x-axis
+/// under the worst-case diagonal *is* the measure-layer separation.
+#[must_use]
+pub fn figure_f4(quick: bool) -> String {
+    let mut labels = Vec::new();
+    let mut node_avg = Vec::new();
+    let mut edge_avg = Vec::new();
+    let mut median = Vec::new();
+    let mut worst = Vec::new();
+    for &k in &e8_exponents(quick) {
+        let n = 1usize << k;
+        labels.push(format!("2^{k}"));
+        let result = Sweep::new(Problem::LargestId, vec![n])
+            .with_policy(AssignmentPolicy::Fixed(IdAssignment::Identity))
+            .run()
+            .expect("largest-ID sweep cannot fail on cycles");
+        let row = &result.rows[0];
+        node_avg.push(row.average);
+        edge_avg.push(row.edge_averaged);
+        median.push(row.median);
+        worst.push(row.worst_case);
+    }
+    avglocal::figure::AsciiChart::new(
+        "F4: measures on the adversarial cycle — averages flat, worst case linear",
+        labels,
+    )
+    .with_height(14)
+    .render(&[
+        avglocal::figure::Series::new("node-averaged radius", node_avg),
+        avglocal::figure::Series::new("edge-averaged radius (max)", edge_avg),
+        avglocal::figure::Series::new("median radius", median),
+        avglocal::figure::Series::new("worst-case radius", worst),
+    ])
+}
+
 /// All tables, in experiment order.
 #[must_use]
 pub fn all_tables(quick: bool) -> Vec<Table> {
@@ -431,6 +571,7 @@ pub fn all_tables(quick: bool) -> Vec<Table> {
         table_e5(quick),
         table_e6(quick),
         table_e7(quick),
+        table_e8(quick),
     ]
 }
 
@@ -514,6 +655,62 @@ mod tests {
     }
 
     #[test]
+    fn e8_shows_the_measure_separation() {
+        let t = table_e8(true);
+        // 3 identity-cycle sizes + 6 families + 1 per-component row.
+        assert_eq!(t.row_count(), 10);
+        let text = t.to_text();
+        assert!(text.contains("per-component"));
+        assert!(text.contains("identity"));
+        // The adversarial identity cycle: worst case grows linearly with n
+        // while node average, edge average and median stay O(1) — check the
+        // numbers directly on the underlying sweep.
+        let mut last_separation = 0.0;
+        for &k in &[4u32, 6, 8] {
+            let n = 1usize << k;
+            let result = Sweep::new(Problem::LargestId, vec![n])
+                .with_policy(AssignmentPolicy::Fixed(IdAssignment::Identity))
+                .run()
+                .unwrap();
+            let row = &result.rows[0];
+            assert_eq!(row.worst_case, (n / 2) as f64, "worst case is Θ(n)");
+            assert!(row.average < 2.0, "node average stays O(1), got {}", row.average);
+            assert!(row.edge_averaged < 3.0, "edge average stays O(1) on the 2-regular cycle");
+            assert_eq!(row.median, 1.0, "the ordinary node stops at radius 1");
+            // The 2-regular sandwich: node avg <= edge avg (max) <= 2x.
+            assert!(row.edge_averaged >= row.average - 1e-12);
+            assert!(row.edge_averaged <= 2.0 * row.average + 1e-12);
+            // The worst/average separation grows with n.
+            assert!(row.separation() > last_separation);
+            last_separation = row.separation();
+        }
+    }
+
+    #[test]
+    fn e8_per_component_row_detaches_the_averages() {
+        // Subcritical G(n, p): isolated nodes dilute the node average but
+        // not the edge average, so the edge/node ratio exceeds the
+        // bounded-degree sandwich bound of 2. (p = 0.5/n leaves a good half
+        // of the nodes isolated.)
+        let n = 64;
+        let result =
+            Sweep::on(Problem::LargestId, Topology::Gnp { p: 0.5 / n as f64, seed: 13 }, vec![n])
+                .with_policy(AssignmentPolicy::Random { base_seed: 23 })
+                .with_trials(2)
+                .with_component_mode(ComponentMode::PerComponent)
+                .run()
+                .unwrap();
+        let row = &result.rows[0];
+        assert!(row.components > 1, "the subcritical instance must fall apart");
+        assert!(
+            row.edge_averaged > 2.0 * row.average,
+            "isolated nodes must detach the averages: edge {} vs node {}",
+            row.edge_averaged,
+            row.average
+        );
+    }
+
+    #[test]
     fn figures_render_in_quick_mode() {
         let f1 = figure_f1(true);
         assert!(f1.contains("F1"));
@@ -524,5 +721,9 @@ mod tests {
         let f3 = figure_f3(true);
         assert!(f3.contains("F3"));
         assert!(f3.contains("grid average radius"));
+        let f4 = figure_f4(true);
+        assert!(f4.contains("F4"));
+        assert!(f4.contains("edge-averaged radius (max)"));
+        assert!(f4.contains("worst-case radius"));
     }
 }

@@ -51,8 +51,11 @@ impl AdversarySearch {
     }
 
     fn evaluate(&self, n: usize, assignment: &IdAssignment) -> Result<(f64, RadiusProfile)> {
-        let profile = crate::experiment::run_on_cycle(self.problem, n, assignment)?;
-        Ok((self.measure.evaluate(&profile), profile))
+        // Build the cycle explicitly so the objective can be *any* measure,
+        // including the edge-averaged ones that need the graph structure.
+        let graph = crate::experiment::cycle_with_assignment(n, assignment)?;
+        let profile = self.problem.run(&graph)?;
+        Ok((self.measure.evaluate_on(&profile, &graph), profile))
     }
 
     /// Exhaustively enumerates every identifier permutation of the `n`-cycle.
@@ -190,14 +193,14 @@ mod tests {
 
     #[test]
     fn exhaustive_validates_bounds() {
-        let search = AdversarySearch::new(Problem::LargestId, Measure::Average);
+        let search = AdversarySearch::new(Problem::LargestId, Measure::NodeAveraged);
         assert!(search.exhaustive(2).is_err());
         assert!(search.exhaustive(9).is_err());
     }
 
     #[test]
     fn hill_climbing_reaches_at_least_the_random_baseline() {
-        let search = AdversarySearch::new(Problem::LargestId, Measure::Average);
+        let search = AdversarySearch::new(Problem::LargestId, Measure::NodeAveraged);
         let n = 16;
         let result = search.hill_climb(n, 2, 30, 11).unwrap();
         // Any random assignment is a lower bound for the hill-climbed value.
@@ -214,7 +217,7 @@ mod tests {
 
     #[test]
     fn hill_climbing_validates_configuration() {
-        let search = AdversarySearch::new(Problem::LargestId, Measure::Average);
+        let search = AdversarySearch::new(Problem::LargestId, Measure::NodeAveraged);
         assert!(search.hill_climb(2, 1, 1, 0).is_err());
         assert!(search.hill_climb(8, 0, 1, 0).is_err());
         assert!(search.hill_climb(8, 1, 0, 0).is_err());
@@ -222,7 +225,7 @@ mod tests {
 
     #[test]
     fn hill_climbing_is_deterministic_per_seed() {
-        let search = AdversarySearch::new(Problem::LargestId, Measure::Average);
+        let search = AdversarySearch::new(Problem::LargestId, Measure::NodeAveraged);
         let a = search.hill_climb(12, 2, 20, 3).unwrap();
         let b = search.hill_climb(12, 2, 20, 3).unwrap();
         assert_eq!(a.objective, b.objective);

@@ -20,12 +20,14 @@
 //! graph itself.
 
 use avglocal_analysis::Summary;
-use avglocal_graph::{derive_seed, CsrGraph, Graph, IdAssignment, Topology};
+use avglocal_graph::{
+    derive_seed, ComponentLabels, ComponentMode, CsrGraph, Graph, IdAssignment, Topology,
+};
 use avglocal_runtime::FrozenExecutor;
 use rayon::prelude::*;
 
 use crate::error::{CoreError, Result};
-use crate::measure::MeasurePair;
+use crate::measure::{ComponentMeasures, MeasureSet};
 use crate::problem::Problem;
 use crate::profile::RadiusProfile;
 
@@ -67,7 +69,13 @@ impl AssignmentPolicy {
     }
 }
 
-/// One row of a sweep: a single size, aggregated over the trials.
+/// One row of a sweep: a single size, every measure aggregated over the
+/// trials.
+///
+/// All measures of a trial come from **one** execution: the per-node radius
+/// vector is folded into a [`MeasureSet`] (node-averaged, edge-averaged,
+/// worst-case, median, total) in a single pass, so adding measures never
+/// re-runs the algorithm.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SweepRow {
     /// The topology the row was measured on.
@@ -76,14 +84,26 @@ pub struct SweepRow {
     pub n: usize,
     /// Number of trials aggregated in this row.
     pub trials: usize,
+    /// Number of connected components of the instance (1 unless the sweep
+    /// runs in [`ComponentMode::PerComponent`]).
+    pub components: usize,
     /// Mean (over trials) of the worst-case radius.
     pub worst_case: f64,
-    /// Mean (over trials) of the average radius.
+    /// Mean (over trials) of the node-averaged radius.
     pub average: f64,
-    /// Summary of the per-trial average radii (for confidence intervals).
+    /// Summary of the per-trial node-averaged radii (for confidence
+    /// intervals).
     pub average_summary: Summary,
     /// Mean (over trials) of the total radius.
     pub total: f64,
+    /// Mean (over trials) of the edge-averaged radius with
+    /// [`crate::measure::EdgeWeight::Max`] endpoints.
+    pub edge_averaged: f64,
+    /// Mean (over trials) of the edge-averaged radius with
+    /// [`crate::measure::EdgeWeight::Mean`] endpoints.
+    pub edge_averaged_mean: f64,
+    /// Mean (over trials) of the per-trial median radius.
+    pub median: f64,
 }
 
 impl SweepRow {
@@ -127,6 +147,18 @@ impl SweepResult {
     pub fn worst_case_column(&self) -> Vec<f64> {
         self.rows.iter().map(|r| r.worst_case).collect()
     }
+
+    /// The edge-averaged-radius column (max-endpoint weighting) as `f64`s.
+    #[must_use]
+    pub fn edge_averaged_column(&self) -> Vec<f64> {
+        self.rows.iter().map(|r| r.edge_averaged).collect()
+    }
+
+    /// The median-radius column as `f64`s.
+    #[must_use]
+    pub fn median_column(&self) -> Vec<f64> {
+        self.rows.iter().map(|r| r.median).collect()
+    }
 }
 
 /// Configuration of a sweep experiment.
@@ -137,6 +169,7 @@ pub struct Sweep {
     sizes: Vec<usize>,
     policy: AssignmentPolicy,
     trials: usize,
+    mode: ComponentMode,
 }
 
 impl Sweep {
@@ -157,6 +190,7 @@ impl Sweep {
             sizes,
             policy: AssignmentPolicy::Random { base_seed: 0 },
             trials: 1,
+            mode: ComponentMode::RequireConnected,
         }
     }
 
@@ -178,6 +212,21 @@ impl Sweep {
     #[must_use]
     pub fn with_trials(mut self, trials: usize) -> Self {
         self.trials = trials;
+        self
+    }
+
+    /// Sets how disconnected instances are handled (default:
+    /// [`ComponentMode::RequireConnected`]).
+    ///
+    /// In [`ComponentMode::PerComponent`] a disconnected family — e.g.
+    /// `G(n, p)` below the connectivity threshold — is a supported
+    /// configuration instead of a hard error: the first draw is used as-is
+    /// (no redraw loop), outputs are verified per component, every ball
+    /// saturates at its component boundary, and the row reports the
+    /// aggregated measures plus the component count.
+    #[must_use]
+    pub fn with_component_mode(mut self, mode: ComponentMode) -> Self {
+        self.mode = mode;
         self
     }
 
@@ -208,9 +257,21 @@ impl Sweep {
             // graph (essential for random families, cheaper for all). For
             // ball-view problems the adjacency is also frozen once; each
             // trial clones the flat snapshot and swaps the identifier table
-            // instead of re-freezing.
-            let base = self.topology.build(n)?;
+            // instead of re-freezing. In per-component mode the instance is
+            // the first draw (no connectivity redraws) and the component
+            // labelling — discovered at freeze time, or by a BFS sweep for
+            // round-based problems — scopes verification to the components.
+            let base = self.topology.build_for(n, self.mode)?;
             let frozen_base = self.problem.uses_ball_view().then(|| base.freeze());
+            let label_storage = (self.mode == ComponentMode::PerComponent && frozen_base.is_none())
+                .then(|| ComponentLabels::of_graph(&base));
+            let labels: Option<&ComponentLabels> = match self.mode {
+                ComponentMode::RequireConnected => None,
+                ComponentMode::PerComponent => Some(match &frozen_base {
+                    Some(csr) => csr.components(),
+                    None => label_storage.as_ref().expect("computed above"),
+                }),
+            };
             // Trials are independent and their seeds explicit, so they run on
             // the work-stealing pool: the pool claims trials dynamically (a
             // slow trial stalls only itself) and each participant keeps one
@@ -218,7 +279,7 @@ impl Sweep {
             // cloned once per participant, then each trial only swaps the
             // identifier table. Results are collected in trial order, keeping
             // every aggregate bit-for-bit identical to a sequential sweep.
-            let per_trial: Vec<Result<(f64, f64, f64)>> = (0..self.trials)
+            let per_trial: Vec<Result<MeasureSet>> = (0..self.trials)
                 .into_par_iter()
                 .map_init(
                     || None,
@@ -227,30 +288,34 @@ impl Sweep {
                         let mut graph = base.clone();
                         assignment.apply(&mut graph)?;
                         let profile =
-                            run_trial(self.problem, &graph, frozen_base.as_ref(), session)?;
-                        let pair = MeasurePair::of(&profile);
-                        Ok((pair.worst_case, pair.average, profile.total() as f64))
+                            run_trial(self.problem, &graph, frozen_base.as_ref(), session, labels)?;
+                        // One pass over the radius vector and the (shared)
+                        // edge structure produces every measure of the trial.
+                        Ok(match &frozen_base {
+                            Some(csr) => MeasureSet::of_csr(&profile, csr),
+                            None => MeasureSet::of(&profile, &base),
+                        })
                     },
                 )
                 .collect();
-            let mut worst = Vec::with_capacity(self.trials);
-            let mut averages = Vec::with_capacity(self.trials);
-            let mut totals = Vec::with_capacity(self.trials);
+            let mut sets = Vec::with_capacity(self.trials);
             for result in per_trial {
-                let (w, a, t) = result?;
-                worst.push(w);
-                averages.push(a);
-                totals.push(t);
+                sets.push(result?);
             }
+            let averages: Vec<f64> = sets.iter().map(|s| s.node_averaged).collect();
             let average_summary = Summary::from_values(&averages);
             rows.push(SweepRow {
                 topology: self.topology.clone(),
                 n,
                 trials: self.trials,
-                worst_case: mean(&worst),
+                components: labels.map_or(1, ComponentLabels::count),
+                worst_case: mean_of(&sets, |s| s.worst_case),
                 average: average_summary.mean,
                 average_summary,
-                total: mean(&totals),
+                total: mean_of(&sets, |s| s.total),
+                edge_averaged: mean_of(&sets, |s| s.edge_averaged),
+                edge_averaged_mean: mean_of(&sets, |s| s.edge_averaged_mean),
+                median: mean_of(&sets, |s| s.median),
             });
         }
         Ok(SweepResult { problem: self.problem, topology: self.topology.clone(), rows })
@@ -272,6 +337,46 @@ pub fn run_on_topology(
     check_problem_supports_topology(problem, topology)?;
     let graph = topology_with_assignment(topology, n, assignment)?;
     problem.run(&graph)
+}
+
+/// Runs `problem` on a size-`n` instance of `topology` with **per-component
+/// semantics**: the instance is the first draw of the family (no
+/// connectivity redraws — a disconnected instance is the object of study,
+/// not an error), outputs are verified per component, and the returned
+/// [`ComponentMeasures`] carries one [`MeasureSet`] per component plus the
+/// whole-graph aggregate.
+///
+/// # Errors
+///
+/// Propagates graph-construction and execution errors.
+pub fn run_on_topology_per_component(
+    problem: Problem,
+    topology: &Topology,
+    n: usize,
+    assignment: &IdAssignment,
+) -> Result<(RadiusProfile, ComponentMeasures)> {
+    check_problem_supports_topology(problem, topology)?;
+    let mut graph = topology.build_for(n, ComponentMode::PerComponent)?;
+    assignment.apply(&mut graph)?;
+    // Ball-view problems freeze the graph anyway, and freezing discovers the
+    // component labelling — freeze once here and reuse both, instead of
+    // labelling separately and re-freezing inside the run. Round-based
+    // problems never freeze, so they label with the BFS sweep.
+    let frozen = problem.uses_ball_view().then(|| graph.freeze());
+    let label_storage = frozen.is_none().then(|| ComponentLabels::of_graph(&graph));
+    let labels: &ComponentLabels = match &frozen {
+        Some(csr) => csr.components(),
+        None => label_storage.as_ref().expect("computed above"),
+    };
+    let profile = match &frozen {
+        Some(csr) => {
+            let session = FrozenExecutor::from_csr(csr.clone());
+            problem.run_with(&graph, Some(&session), Some(labels))?
+        }
+        None => problem.run_with(&graph, None, Some(labels))?,
+    };
+    let measures = ComponentMeasures::of(&profile, &graph, labels);
+    Ok((profile, measures))
 }
 
 /// Rejects ring-only problems on non-cycle topologies, so every entry point
@@ -334,10 +439,15 @@ pub struct RandomPermutationStudy {
     pub n: usize,
     /// Number of sampled permutations.
     pub samples: usize,
-    /// Summary of the per-sample average radii.
+    /// Summary of the per-sample node-averaged radii.
     pub average_radius: Summary,
     /// Summary of the per-sample worst-case radii.
     pub worst_case_radius: Summary,
+    /// Summary of the per-sample edge-averaged radii (max-endpoint
+    /// weighting).
+    pub edge_averaged_radius: Summary,
+    /// Summary of the per-sample median radii.
+    pub median_radius: Summary,
 }
 
 /// Samples `samples` uniformly random identifier permutations of a size-`n`
@@ -364,8 +474,9 @@ pub fn random_permutation_study_on(
     let base = topology.build(n)?;
     let frozen_base = problem.uses_ball_view().then(|| base.freeze());
     // Same machinery as `Sweep::run`: samples are claimed dynamically from
-    // the pool and each participant reuses one session across its samples.
-    let per_sample: Vec<Result<(f64, f64)>> = (0..samples)
+    // the pool, each participant reuses one session across its samples, and
+    // one pass per sample feeds every measure.
+    let per_sample: Vec<Result<MeasureSet>> = (0..samples)
         .into_par_iter()
         .map_init(
             || None,
@@ -373,24 +484,27 @@ pub fn random_permutation_study_on(
                 let assignment = IdAssignment::Shuffled { seed: derive_seed(base_seed, i as u64) };
                 let mut graph = base.clone();
                 assignment.apply(&mut graph)?;
-                let profile = run_trial(problem, &graph, frozen_base.as_ref(), session)?;
-                Ok((profile.average(), profile.max() as f64))
+                let profile = run_trial(problem, &graph, frozen_base.as_ref(), session, None)?;
+                Ok(match &frozen_base {
+                    Some(csr) => MeasureSet::of_csr(&profile, csr),
+                    None => MeasureSet::of(&profile, &base),
+                })
             },
         )
         .collect();
-    let mut averages = Vec::with_capacity(samples);
-    let mut worsts = Vec::with_capacity(samples);
+    let mut sets = Vec::with_capacity(samples);
     for result in per_sample {
-        let (average, worst) = result?;
-        averages.push(average);
-        worsts.push(worst);
+        sets.push(result?);
     }
+    let collect = |f: fn(&MeasureSet) -> f64| -> Vec<f64> { sets.iter().map(f).collect() };
     Ok(RandomPermutationStudy {
         topology: topology.clone(),
         n,
         samples,
-        average_radius: Summary::from_values(&averages),
-        worst_case_radius: Summary::from_values(&worsts),
+        average_radius: Summary::from_values(&collect(|s| s.node_averaged)),
+        worst_case_radius: Summary::from_values(&collect(|s| s.worst_case)),
+        edge_averaged_radius: Summary::from_values(&collect(|s| s.edge_averaged)),
+        median_radius: Summary::from_values(&collect(|s| s.median)),
     })
 }
 
@@ -423,23 +537,25 @@ fn run_trial(
     graph: &Graph,
     frozen_base: Option<&CsrGraph>,
     session: &mut Option<FrozenExecutor>,
+    components: Option<&ComponentLabels>,
 ) -> Result<RadiusProfile> {
     match frozen_base {
         Some(csr) => {
             let session = session.get_or_insert_with(|| FrozenExecutor::from_csr(csr.clone()));
             let identifiers: Vec<_> = graph.identifiers().collect();
             session.set_identifiers(&identifiers);
-            problem.run_with_session(graph, session)
+            problem.run_with(graph, Some(session), components)
         }
-        None => problem.run(graph),
+        None => problem.run_with(graph, None, components),
     }
 }
 
-fn mean(values: &[f64]) -> f64 {
-    if values.is_empty() {
+/// Mean of one measure over the per-trial sets (0 for no trials).
+fn mean_of(sets: &[MeasureSet], f: impl Fn(&MeasureSet) -> f64) -> f64 {
+    if sets.is_empty() {
         0.0
     } else {
-        values.iter().sum::<f64>() / values.len() as f64
+        sets.iter().map(f).sum::<f64>() / sets.len() as f64
     }
 }
 
@@ -517,6 +633,106 @@ mod tests {
             .run()
             .unwrap_err();
         assert!(matches!(err, CoreError::Graph(avglocal_graph::GraphError::Disconnected { .. })));
+    }
+
+    #[test]
+    fn per_component_mode_supports_disconnected_gnp() {
+        // The same subcritical family that is a hard error in the default
+        // mode is a supported configuration in per-component mode.
+        let topology = Topology::Gnp { p: 0.05, seed: 3 };
+        let result = Sweep::on(Problem::LargestId, topology.clone(), vec![24])
+            .with_policy(AssignmentPolicy::Random { base_seed: 4 })
+            .with_trials(2)
+            .with_component_mode(ComponentMode::PerComponent)
+            .run()
+            .unwrap();
+        let row = &result.rows[0];
+        // The drawn instance is genuinely disconnected (that is the point of
+        // the mode) and the row records its component count.
+        let instance = topology.build_unchecked(24).unwrap();
+        let labels = ComponentLabels::of_graph(&instance);
+        assert!(labels.count() > 1, "p = 0.05 at n = 24 must fall apart");
+        assert_eq!(row.components, labels.count());
+        assert!(row.worst_case >= row.average);
+        // p = 0 degenerates to isolated nodes: every radius is 0.
+        let isolated = Sweep::on(Problem::LargestId, Topology::Gnp { p: 0.0, seed: 1 }, vec![8])
+            .with_component_mode(ComponentMode::PerComponent)
+            .run()
+            .unwrap();
+        assert_eq!(isolated.rows[0].components, 8);
+        assert_eq!(isolated.rows[0].worst_case, 0.0);
+        assert_eq!(isolated.rows[0].edge_averaged, 0.0);
+    }
+
+    #[test]
+    fn per_component_mode_is_identical_on_connected_instances() {
+        // On a deterministic (always connected) family, the mode changes the
+        // verification path but never the numbers.
+        let run = |mode: ComponentMode| {
+            Sweep::on(Problem::LargestId, Topology::Grid, vec![12])
+                .with_policy(AssignmentPolicy::Random { base_seed: 9 })
+                .with_trials(3)
+                .with_component_mode(mode)
+                .run()
+                .unwrap()
+        };
+        let connected = run(ComponentMode::RequireConnected);
+        let per_component = run(ComponentMode::PerComponent);
+        assert_eq!(connected.rows[0].worst_case, per_component.rows[0].worst_case);
+        assert_eq!(connected.rows[0].average, per_component.rows[0].average);
+        assert_eq!(connected.rows[0].edge_averaged, per_component.rows[0].edge_averaged);
+        assert_eq!(connected.rows[0].components, 1);
+        assert_eq!(per_component.rows[0].components, 1);
+    }
+
+    #[test]
+    fn sweep_rows_carry_every_measure() {
+        let result = Sweep::new(Problem::LargestId, vec![16])
+            .with_policy(AssignmentPolicy::Identity)
+            .run()
+            .unwrap();
+        let row = &result.rows[0];
+        // Identity on the 16-cycle: 15 nodes stop at radius 1, the winner at
+        // 8. Node average (15 + 8)/16; edge maxima: the winner's two edges
+        // weigh 8, the other 14 weigh 1.
+        assert!((row.average - 23.0 / 16.0).abs() < 1e-12);
+        assert!((row.edge_averaged - (2.0 * 8.0 + 14.0) / 16.0).abs() < 1e-12);
+        assert!((row.edge_averaged_mean - (2.0 * 4.5 + 14.0) / 16.0).abs() < 1e-12);
+        assert_eq!(row.median, 1.0);
+        assert_eq!(row.worst_case, 8.0);
+        assert_eq!(row.total, 23.0);
+        assert_eq!(result.edge_averaged_column().len(), 1);
+        assert_eq!(result.median_column(), vec![1.0]);
+    }
+
+    #[test]
+    fn per_component_topology_run_reports_component_measures() {
+        let (profile, measures) = run_on_topology_per_component(
+            Problem::LargestId,
+            &Topology::Gnp { p: 0.0, seed: 5 },
+            6,
+            &IdAssignment::Reversed,
+        )
+        .unwrap();
+        // Six isolated nodes: six components, all radii 0.
+        assert_eq!(profile.len(), 6);
+        assert_eq!(measures.component_count(), 6);
+        assert_eq!(measures.aggregate.worst_case, 0.0);
+        assert!(measures.per_component.iter().all(|m| m.nodes == 1 && m.edges == 0));
+        // A connected instance degenerates to the plain run.
+        let (profile, measures) = run_on_topology_per_component(
+            Problem::LargestId,
+            &Topology::Cycle,
+            12,
+            &IdAssignment::Identity,
+        )
+        .unwrap();
+        let plain =
+            run_on_topology(Problem::LargestId, &Topology::Cycle, 12, &IdAssignment::Identity)
+                .unwrap();
+        assert_eq!(profile, plain);
+        assert_eq!(measures.component_count(), 1);
+        assert_eq!(measures.aggregate, measures.per_component[0]);
     }
 
     #[test]

@@ -69,10 +69,10 @@ pub use adversary::{section3_assignment, AdversaryResult, AdversarySearch};
 pub use error::{CoreError, Result};
 pub use experiment::{
     cycle_with_assignment, random_permutation_study, random_permutation_study_on, run_on_cycle,
-    run_on_topology, topology_with_assignment, AssignmentPolicy, RandomPermutationStudy, Sweep,
-    SweepResult, SweepRow,
+    run_on_topology, run_on_topology_per_component, topology_with_assignment, AssignmentPolicy,
+    RandomPermutationStudy, Sweep, SweepResult, SweepRow,
 };
-pub use measure::{Measure, MeasurePair};
+pub use measure::{ComponentMeasures, EdgeWeight, Measure, MeasurePair, MeasureSet, MEDIAN};
 pub use problem::Problem;
 pub use profile::RadiusProfile;
 
@@ -87,17 +87,19 @@ pub mod prelude {
     pub use crate::adversary::{section3_assignment, AdversarySearch};
     pub use crate::experiment::{
         cycle_with_assignment, random_permutation_study, random_permutation_study_on, run_on_cycle,
-        run_on_topology, topology_with_assignment, AssignmentPolicy, Sweep,
+        run_on_topology, run_on_topology_per_component, topology_with_assignment, AssignmentPolicy,
+        Sweep,
     };
     pub use crate::figure::{AsciiChart, Series};
-    pub use crate::measure::{Measure, MeasurePair};
+    pub use crate::measure::{ComponentMeasures, EdgeWeight, Measure, MeasurePair, MeasureSet};
     pub use crate::problem::Problem;
     pub use crate::profile::RadiusProfile;
     pub use crate::report::Table;
     pub use crate::schedule::{expected_invalidated_nodes, schedule_radii};
     pub use crate::theory;
     pub use avglocal_graph::{
-        generators, Graph, IdAssignment, Identifier, NodeId, Permutation, Topology,
+        generators, ComponentLabels, ComponentMode, Graph, IdAssignment, Identifier, NodeId,
+        Permutation, Topology,
     };
     pub use avglocal_runtime::{BallExecutor, FrozenExecutor, Knowledge, SyncExecutor};
 }

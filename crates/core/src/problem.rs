@@ -10,7 +10,7 @@ use avglocal_algorithms::{
     run_mis, run_three_coloring, verify, FullInfoColoring, FullInfoLargestId, KnowTheLeader,
     LandmarkColoring, LargestId,
 };
-use avglocal_graph::Graph;
+use avglocal_graph::{ComponentLabels, Graph};
 use avglocal_runtime::{BallAlgorithm, BallExecution, BallExecutor, FrozenExecutor, Knowledge};
 
 use crate::error::{CoreError, Result};
@@ -112,7 +112,39 @@ impl Problem {
     /// [`CoreError::InvalidOutput`] when the verifier rejects the output —
     /// the latter should never happen and indicates a bug.
     pub fn run(&self, graph: &Graph) -> Result<RadiusProfile> {
-        self.run_inner(graph, None)
+        self.run_inner(graph, None, None)
+    }
+
+    /// Like [`Problem::run`], but with explicit per-component semantics:
+    /// `graph` may be disconnected, every ball saturates at its component
+    /// boundary, and outputs are verified **per component** (e.g. largest-ID
+    /// elects one winner per component, not one global winner).
+    ///
+    /// `labels` must be the component labelling of `graph` (usually taken
+    /// from the frozen snapshot's
+    /// [`avglocal_graph::CsrGraph::components`] or computed with
+    /// [`ComponentLabels::of_graph`]). On a connected graph this is
+    /// equivalent to [`Problem::run`].
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Problem::run`]; ring-only problems additionally
+    /// fail on any disconnected (hence non-cycle) instance.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `labels` does not cover every node of `graph`.
+    pub fn run_per_component(
+        &self,
+        graph: &Graph,
+        labels: &ComponentLabels,
+    ) -> Result<RadiusProfile> {
+        assert_eq!(
+            labels.node_count(),
+            graph.node_count(),
+            "the component labelling must cover every node of the graph"
+        );
+        self.run_inner(graph, None, Some(labels))
     }
 
     /// Like [`Problem::run`], but ball-view problems execute on `session`'s
@@ -139,10 +171,26 @@ impl Problem {
             graph.node_count(),
             "the frozen session must mirror the graph it stands in for"
         );
-        self.run_inner(graph, Some(session))
+        self.run_inner(graph, Some(session), None)
     }
 
-    fn run_inner(&self, graph: &Graph, session: Option<&FrozenExecutor>) -> Result<RadiusProfile> {
+    /// The general entry point the sweep harness uses: an optional frozen
+    /// session *and* optional per-component semantics.
+    pub(crate) fn run_with(
+        &self,
+        graph: &Graph,
+        session: Option<&FrozenExecutor>,
+        components: Option<&ComponentLabels>,
+    ) -> Result<RadiusProfile> {
+        self.run_inner(graph, session, components)
+    }
+
+    fn run_inner(
+        &self,
+        graph: &Graph,
+        session: Option<&FrozenExecutor>,
+        components: Option<&ComponentLabels>,
+    ) -> Result<RadiusProfile> {
         /// Runs a ball algorithm on the session when one is available,
         /// freezing the graph per call otherwise.
         fn ball_run<A>(
@@ -162,26 +210,50 @@ impl Problem {
         }
 
         let knowledge = Knowledge::none();
+        // Outputs of ball algorithms are scoped to the component the ball
+        // saturates in, so the per-component entry points swap in the
+        // component-wise verifiers; on a connected graph the two coincide.
         match self {
             Problem::LargestId => {
                 let run = ball_run(graph, session, &LargestId, knowledge)?;
-                self.check(verify::is_correct_largest_id(graph, run.outputs()))?;
+                self.check(match components {
+                    Some(labels) => {
+                        verify::is_correct_largest_id_per_component(graph, labels, run.outputs())
+                    }
+                    None => verify::is_correct_largest_id(graph, run.outputs()),
+                })?;
                 Ok(RadiusProfile::from_ball_execution(&run))
             }
             Problem::FullInfoLargestId => {
                 let run = ball_run(graph, session, &FullInfoLargestId, knowledge)?;
-                self.check(verify::is_correct_largest_id(graph, run.outputs()))?;
+                self.check(match components {
+                    Some(labels) => {
+                        verify::is_correct_largest_id_per_component(graph, labels, run.outputs())
+                    }
+                    None => verify::is_correct_largest_id(graph, run.outputs()),
+                })?;
                 Ok(RadiusProfile::from_ball_execution(&run))
             }
             Problem::KnowTheLeader => {
                 let run = ball_run(graph, session, &KnowTheLeader, knowledge)?;
-                let expected = graph
-                    .max_identifier_node()
-                    .map(|v| graph.identifier(v))
-                    .ok_or_else(|| CoreError::InvalidConfiguration {
-                        reason: "cannot elect a leader on an empty graph".to_string(),
-                    })?;
-                self.check(run.outputs().iter().all(|&id| id == expected))?;
+                match components {
+                    Some(labels) => {
+                        self.check(verify::is_component_leader_output(
+                            graph,
+                            labels,
+                            run.outputs(),
+                        ))?;
+                    }
+                    None => {
+                        let expected = graph
+                            .max_identifier_node()
+                            .map(|v| graph.identifier(v))
+                            .ok_or_else(|| CoreError::InvalidConfiguration {
+                                reason: "cannot elect a leader on an empty graph".to_string(),
+                            })?;
+                        self.check(run.outputs().iter().all(|&id| id == expected))?;
+                    }
+                }
                 Ok(RadiusProfile::from_ball_execution(&run))
             }
             Problem::ThreeColoring => {
@@ -300,6 +372,41 @@ mod tests {
         // Topology-agnostic problems still work.
         assert!(Problem::LargestId.run(&star).is_ok());
         assert!(Problem::KnowTheLeader.run(&star).is_ok());
+    }
+
+    #[test]
+    fn per_component_runs_on_disconnected_graphs() {
+        // Two disjoint rings: the global run rejects the two winners, the
+        // per-component run accepts them and scopes every radius to the
+        // component.
+        let mut g = Graph::new();
+        for i in 0..12 {
+            g.add_node(avglocal_graph::Identifier::new(i));
+        }
+        let v = avglocal_graph::NodeId::new;
+        for c in [0usize, 6] {
+            for i in 0..6 {
+                g.add_edge(v(c + i), v(c + (i + 1) % 6)).unwrap();
+            }
+        }
+        let labels = ComponentLabels::of_graph(&g);
+        assert_eq!(labels.count(), 2);
+        for problem in [Problem::LargestId, Problem::FullInfoLargestId, Problem::KnowTheLeader] {
+            assert!(problem.run(&g).is_err(), "{problem} must reject global verification");
+            let profile = problem.run_per_component(&g, &labels).unwrap();
+            assert_eq!(profile.len(), 12, "{problem}");
+            // No ball ever needs to leave its 6-node component.
+            assert!(profile.max() <= 3, "{problem}");
+        }
+    }
+
+    #[test]
+    fn per_component_equals_global_on_connected_graphs() {
+        let g = ring(20, 11);
+        let labels = ComponentLabels::of_graph(&g);
+        for problem in [Problem::LargestId, Problem::KnowTheLeader] {
+            assert_eq!(problem.run(&g).unwrap(), problem.run_per_component(&g, &labels).unwrap());
+        }
     }
 
     #[test]

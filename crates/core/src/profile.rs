@@ -103,6 +103,15 @@ impl RadiusProfile {
         }
     }
 
+    /// Nearest-rank quantile of the radii, in thousandths (`500` = median,
+    /// `900` = 90th percentile; values above 1000 are clamped). Returns 0.0
+    /// for the empty profile. `O(n)` — selection, not a sort.
+    #[must_use]
+    pub fn quantile(&self, per_mille: u16) -> f64 {
+        let mut scratch = self.radii.clone();
+        crate::measure::nearest_rank(&mut scratch, per_mille)
+    }
+
     /// Fraction of nodes with radius at most `r`.
     #[must_use]
     pub fn fraction_within(&self, r: usize) -> f64 {
@@ -173,6 +182,15 @@ mod tests {
         assert_eq!(p.min(), 0);
         assert_eq!(p.average(), 0.0);
         assert_eq!(p.fraction_within(10), 0.0);
+    }
+
+    #[test]
+    fn quantiles_are_nearest_rank() {
+        let p = RadiusProfile::new(vec![5, 1, 3, 2, 4]);
+        assert_eq!(p.quantile(0), 1.0);
+        assert_eq!(p.quantile(500), 3.0);
+        assert_eq!(p.quantile(1000), 5.0);
+        assert_eq!(RadiusProfile::new(vec![]).quantile(500), 0.0);
     }
 
     #[test]

@@ -15,7 +15,7 @@ use crate::{Graph, Identifier};
 /// A policy for assigning identifiers to the nodes of a graph.
 ///
 /// Identifiers are always a permutation of `base .. base + n`, so they are
-/// unique. `base` defaults to 0; use [`IdAssignment::with_base`] to shift the
+/// unique. `base` defaults to 0; use [`IdAssignment::apply_with_base`] to shift the
 /// universe (e.g. to make identifiers look unrelated to node indices).
 ///
 /// # Examples

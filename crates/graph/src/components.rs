@@ -1,0 +1,368 @@
+//! Connected-component labellings and the component-handling mode of the
+//! experiment harness.
+//!
+//! A disconnected instance changes the semantics of a LOCAL execution: a
+//! ball saturates when it has seen its whole **component**, so every radius,
+//! output and verifier is implicitly component-scoped. [`ComponentLabels`]
+//! makes that structure explicit — one canonical label per node, components
+//! numbered in order of their smallest node index — and [`ComponentMode`]
+//! lets callers choose between the historical "reject disconnected
+//! instances" behaviour and the explicit per-component semantics.
+//!
+//! Labels are computed at freeze time by [`crate::Graph::freeze`]: the
+//! parallel path runs a lock-free union-find over the CSR edge array (hook
+//! the higher root onto the lower via compare-and-swap, so the final root of
+//! every component is its minimum node index regardless of scheduling), the
+//! serial path a plain BFS sweep. Both produce **bit-identical** labellings
+//! because the canonical form — components numbered by smallest member,
+//! sizes in label order — is independent of discovery order.
+
+use std::sync::atomic::{AtomicU32, Ordering};
+
+use rayon::prelude::*;
+
+use crate::{Graph, NodeId};
+
+/// How an experiment treats disconnected instances.
+///
+/// The historical behaviour ([`ComponentMode::RequireConnected`]) redraws
+/// random families until they are connected and rejects instances that never
+/// connect; [`ComponentMode::PerComponent`] accepts the instance as drawn and
+/// scopes every measure (and "the ball saturates") to the component.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
+pub enum ComponentMode {
+    /// Only connected instances are valid; random families are redrawn and a
+    /// persistently disconnected family is a hard
+    /// [`crate::GraphError::Disconnected`].
+    #[default]
+    RequireConnected,
+    /// Disconnected instances are first-class: the first draw is used as-is
+    /// (no redraw loop, no derived-seed burn) and results are reported per
+    /// component as well as aggregated.
+    PerComponent,
+}
+
+/// A canonical connected-component labelling of a graph.
+///
+/// Component `c` is the `c`-th component in order of smallest node index, so
+/// two labellings of the same graph are equal no matter how they were
+/// computed — the property the parallel freeze is property-tested against.
+///
+/// # Examples
+///
+/// ```
+/// use avglocal_graph::{ComponentLabels, Graph, Identifier};
+///
+/// let mut g = Graph::new();
+/// let a = g.add_node(Identifier::new(0));
+/// let b = g.add_node(Identifier::new(1));
+/// let c = g.add_node(Identifier::new(2));
+/// g.add_edge(a, c).unwrap();
+/// let labels = ComponentLabels::of_graph(&g);
+/// assert_eq!(labels.count(), 2);
+/// assert_eq!(labels.label(a), 0);
+/// assert_eq!(labels.label(b), 1);
+/// assert_eq!(labels.label(c), 0); // same component as `a`
+/// assert_eq!(labels.sizes(), &[2, 1]);
+/// assert!(!labels.is_connected());
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ComponentLabels {
+    /// Component label of each node, indexed by node.
+    labels: Vec<u32>,
+    /// Number of nodes in each component, indexed by label.
+    sizes: Vec<u32>,
+}
+
+impl ComponentLabels {
+    /// Labels the components of `graph` with a sequential BFS sweep.
+    #[must_use]
+    pub fn of_graph(graph: &Graph) -> Self {
+        let n = graph.node_count();
+        serial_labels(n, |v, queue_cb| {
+            for &u in graph.neighbors(NodeId::new(v as usize)) {
+                queue_cb(u.index() as u32);
+            }
+        })
+    }
+
+    /// Labels the components of a CSR adjacency with a sequential BFS sweep
+    /// — the serial reference the parallel labelling is tested against.
+    #[must_use]
+    pub(crate) fn of_csr_serial(offsets: &[u32], targets: &[u32]) -> Self {
+        let n = offsets.len() - 1;
+        serial_labels(n, |v, queue_cb| {
+            for &u in &targets[offsets[v as usize] as usize..offsets[v as usize + 1] as usize] {
+                queue_cb(u);
+            }
+        })
+    }
+
+    /// Labels the components of a CSR adjacency with a parallel lock-free
+    /// union-find over the edge array.
+    ///
+    /// Every edge is processed by hooking the **higher** of the two current
+    /// roots onto the lower one with a compare-and-swap, so the final root
+    /// of each component is its minimum node index — a canonical choice that
+    /// makes the result independent of how the pool interleaved the unions.
+    /// The labelling is therefore bit-identical to
+    /// [`ComponentLabels::of_csr_serial`] by construction (and by property
+    /// test).
+    #[must_use]
+    pub(crate) fn of_csr_parallel(offsets: &[u32], targets: &[u32]) -> Self {
+        let n = offsets.len() - 1;
+        if n == 0 {
+            return ComponentLabels { labels: Vec::new(), sizes: Vec::new() };
+        }
+        let parents: Vec<AtomicU32> = (0..n as u32).map(AtomicU32::new).collect();
+        // Union every edge; nodes are claimed in dynamic chunks from the
+        // pool, and each node unions its forward edges (u > v), so every
+        // undirected edge is processed exactly once.
+        (0..n).into_par_iter().for_each(|v| {
+            let lo = offsets[v] as usize;
+            let hi = offsets[v + 1] as usize;
+            for &u in &targets[lo..hi] {
+                if (u as usize) > v {
+                    union(&parents, v as u32, u);
+                }
+            }
+        });
+        // All unions are done (the parallel call is a barrier): flatten every
+        // node to its root in parallel, then compact the roots to labels in
+        // node order.
+        let roots: Vec<u32> = (0..n).into_par_iter().map(|v| find(&parents, v as u32)).collect();
+        let mut label_of_root = vec![u32::MAX; n];
+        let mut labels = Vec::with_capacity(n);
+        let mut sizes: Vec<u32> = Vec::new();
+        for &root in &roots {
+            let slot = &mut label_of_root[root as usize];
+            if *slot == u32::MAX {
+                *slot = sizes.len() as u32;
+                sizes.push(0);
+            }
+            labels.push(*slot);
+            sizes[*slot as usize] += 1;
+        }
+        ComponentLabels { labels, sizes }
+    }
+
+    /// Number of connected components (0 for the empty graph).
+    #[must_use]
+    pub fn count(&self) -> usize {
+        self.sizes.len()
+    }
+
+    /// Component label of `node`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    #[must_use]
+    pub fn label(&self, node: NodeId) -> u32 {
+        self.labels[node.index()]
+    }
+
+    /// All labels, indexed by node.
+    #[must_use]
+    pub fn labels(&self) -> &[u32] {
+        &self.labels
+    }
+
+    /// Number of nodes per component, indexed by label.
+    #[must_use]
+    pub fn sizes(&self) -> &[u32] {
+        &self.sizes
+    }
+
+    /// Number of labelled nodes.
+    #[must_use]
+    pub fn node_count(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Returns `true` when there is at most one component (the empty graph
+    /// counts as connected, matching [`crate::traversal::is_connected`]).
+    #[must_use]
+    pub fn is_connected(&self) -> bool {
+        self.sizes.len() <= 1
+    }
+}
+
+/// Sequential BFS labelling over any adjacency representation: `neighbors`
+/// is called with a node and a callback receiving each neighbour.
+fn serial_labels(n: usize, neighbors: impl Fn(u32, &mut dyn FnMut(u32))) -> ComponentLabels {
+    let mut labels = vec![u32::MAX; n];
+    let mut sizes: Vec<u32> = Vec::new();
+    let mut queue: Vec<u32> = Vec::new();
+    for start in 0..n as u32 {
+        if labels[start as usize] != u32::MAX {
+            continue;
+        }
+        let label = sizes.len() as u32;
+        let mut size = 0u32;
+        labels[start as usize] = label;
+        queue.push(start);
+        while let Some(v) = queue.pop() {
+            size += 1;
+            neighbors(v, &mut |u| {
+                if labels[u as usize] == u32::MAX {
+                    labels[u as usize] = label;
+                    queue.push(u);
+                }
+            });
+        }
+        sizes.push(size);
+    }
+    ComponentLabels { labels, sizes }
+}
+
+/// Follows parent pointers to the root of `x`, halving the path as it goes.
+///
+/// The halving stores only ever replace a parent with a *current ancestor*
+/// (guarded by compare-and-swap), so concurrent finds remain correct.
+fn find(parents: &[AtomicU32], mut x: u32) -> u32 {
+    loop {
+        let parent = parents[x as usize].load(Ordering::Acquire);
+        if parent == x {
+            return x;
+        }
+        let grandparent = parents[parent as usize].load(Ordering::Acquire);
+        if grandparent != parent {
+            // Path halving: skip over `parent`. A failed CAS just means
+            // someone else already improved the pointer.
+            let _ = parents[x as usize].compare_exchange(
+                parent,
+                grandparent,
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            );
+        }
+        x = parent;
+    }
+}
+
+/// Merges the sets containing `a` and `b`, hooking the higher root onto the
+/// lower so the surviving root of every component is its minimum node.
+fn union(parents: &[AtomicU32], a: u32, b: u32) {
+    loop {
+        let root_a = find(parents, a);
+        let root_b = find(parents, b);
+        if root_a == root_b {
+            return;
+        }
+        let (high, low) = if root_a > root_b { (root_a, root_b) } else { (root_b, root_a) };
+        if parents[high as usize]
+            .compare_exchange(high, low, Ordering::AcqRel, Ordering::Acquire)
+            .is_ok()
+        {
+            return;
+        }
+        // `high` stopped being a root under us; retry with fresh roots.
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{generators, traversal, Identifier};
+
+    fn assert_matches_traversal(graph: &Graph, labels: &ComponentLabels) {
+        let expected = traversal::connected_components(graph);
+        assert_eq!(labels.count(), expected.len());
+        for (c, nodes) in expected.iter().enumerate() {
+            assert_eq!(labels.sizes()[c] as usize, nodes.len());
+            for &v in nodes {
+                assert_eq!(labels.label(v), c as u32, "node {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn connected_graph_has_one_component() {
+        let g = generators::cycle(12).unwrap();
+        let labels = ComponentLabels::of_graph(&g);
+        assert_eq!(labels.count(), 1);
+        assert!(labels.is_connected());
+        assert_eq!(labels.sizes(), &[12]);
+        assert!(labels.labels().iter().all(|&l| l == 0));
+        assert_matches_traversal(&g, &labels);
+    }
+
+    #[test]
+    fn empty_graph_is_connected_with_zero_components() {
+        let labels = ComponentLabels::of_graph(&Graph::new());
+        assert_eq!(labels.count(), 0);
+        assert_eq!(labels.node_count(), 0);
+        assert!(labels.is_connected());
+    }
+
+    #[test]
+    fn isolated_nodes_get_their_own_components() {
+        let mut g = Graph::new();
+        for i in 0..5 {
+            g.add_node(Identifier::new(i));
+        }
+        g.add_edge(NodeId::new(1), NodeId::new(3)).unwrap();
+        let labels = ComponentLabels::of_graph(&g);
+        assert_eq!(labels.count(), 4);
+        assert_eq!(labels.label(NodeId::new(1)), labels.label(NodeId::new(3)));
+        assert_eq!(labels.sizes(), &[1, 2, 1, 1]);
+        assert_matches_traversal(&g, &labels);
+    }
+
+    #[test]
+    fn components_are_numbered_by_smallest_member() {
+        // Edges chosen so BFS discovery order differs from node order inside
+        // the components; the labelling must still be canonical.
+        let mut g = Graph::new();
+        for i in 0..6 {
+            g.add_node(Identifier::new(i));
+        }
+        g.add_edge(NodeId::new(5), NodeId::new(1)).unwrap();
+        g.add_edge(NodeId::new(4), NodeId::new(0)).unwrap();
+        g.add_edge(NodeId::new(3), NodeId::new(2)).unwrap();
+        let labels = ComponentLabels::of_graph(&g);
+        // Component 0 contains node 0, component 1 node 1, component 2 node 2.
+        assert_eq!(labels.label(NodeId::new(0)), 0);
+        assert_eq!(labels.label(NodeId::new(4)), 0);
+        assert_eq!(labels.label(NodeId::new(1)), 1);
+        assert_eq!(labels.label(NodeId::new(5)), 1);
+        assert_eq!(labels.label(NodeId::new(2)), 2);
+        assert_eq!(labels.label(NodeId::new(3)), 2);
+    }
+
+    #[test]
+    fn serial_and_parallel_csr_labellings_agree() {
+        let graphs = [
+            generators::cycle(64).unwrap(),
+            generators::path(33).unwrap(),
+            generators::grid(5, 7).unwrap(),
+            {
+                let mut g = Graph::new();
+                for i in 0..40 {
+                    g.add_node(Identifier::new(i));
+                }
+                for i in 0..20u64 {
+                    let u = NodeId::new((i * 7 % 40) as usize);
+                    let v = NodeId::new((i * 11 % 40) as usize);
+                    if u != v && !g.contains_edge(u, v) {
+                        g.add_edge(u, v).unwrap();
+                    }
+                }
+                g
+            },
+        ];
+        for g in &graphs {
+            let csr = g.freeze_serial();
+            let serial = ComponentLabels::of_csr_serial(csr.offsets(), csr.targets());
+            let parallel = ComponentLabels::of_csr_parallel(csr.offsets(), csr.targets());
+            assert_eq!(serial, parallel);
+            assert_matches_traversal(g, &serial);
+        }
+    }
+
+    #[test]
+    fn component_mode_default_requires_connected() {
+        assert_eq!(ComponentMode::default(), ComponentMode::RequireConnected);
+    }
+}

@@ -9,10 +9,37 @@
 //! worker thread. Port order (the neighbour order of the source graph) is
 //! preserved exactly, so anything derived from a CSR snapshot matches the
 //! `Graph`-based code paths node for node.
+//!
+//! # Parallel freezing
+//!
+//! Freezing was the one remaining `O(n + m)` serial step in front of every
+//! parallel sweep, so [`CsrGraph::from_graph`] now builds large snapshots on
+//! the persistent worker pool: the degree table is counted in parallel, the
+//! offsets are a (cheap, serial) prefix sum over it, and the target array is
+//! scattered in parallel by recursively splitting the node range — every
+//! node owns a disjoint slice of `targets` (`offsets[v] .. offsets[v + 1]`),
+//! so the split is race-free by construction while the pool's atomic chunk
+//! cursors distribute the halves dynamically. A parallel connected-components
+//! labelling pass (lock-free union-find, see [`crate::components`]) runs over
+//! the finished arrays and feeds the per-component experiment mode. Small
+//! graphs take the serial path ([`CsrGraph::from_graph_serial`]), which is
+//! kept intact as the bit-identical reference the parallel build is
+//! property-tested against.
 
 use std::sync::Arc;
 
+use rayon::prelude::*;
+
+use crate::components::ComponentLabels;
 use crate::{Graph, Identifier, NodeId};
+
+/// Below this many nodes + edge endpoints, [`CsrGraph::from_graph`] uses the
+/// serial build: the pool's scheduling overhead would dominate the copy.
+const PARALLEL_FREEZE_CUTOFF: usize = 1 << 13;
+
+/// Node ranges at most this long are scattered inline instead of being split
+/// further across the pool.
+const SCATTER_GRAIN: usize = 1 << 10;
 
 /// A frozen adjacency snapshot of a [`Graph`] in compressed sparse row form.
 ///
@@ -33,25 +60,50 @@ use crate::{Graph, Identifier, NodeId};
 /// assert_eq!(csr.degree(0), 2);
 /// assert_eq!(csr.neighbors(0), &[1, 7]);
 /// assert_eq!(csr.identifier(3), g.identifier(NodeId::new(3)));
+/// assert!(csr.is_connected());
+/// assert_eq!(csr.components().count(), 1);
 /// # Ok(())
 /// # }
 /// ```
 /// The adjacency is immutable once frozen and shared behind an [`Arc`], so
 /// cloning a snapshot — the per-trial operation of an identifier-assignment
 /// sweep, which clones and then calls [`CsrGraph::set_identifiers`] — copies
-/// only the `O(n)` identifier table, never the `O(n + m)` edge arrays.
+/// only the `O(n)` identifier table, never the `O(n + m)` edge arrays or the
+/// component labelling.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CsrGraph {
     /// `offsets[v] .. offsets[v + 1]` brackets node `v`'s slice of `targets`.
     offsets: Arc<[u32]>,
     /// Concatenated neighbour lists, in port order.
     targets: Arc<[u32]>,
+    /// Canonical connected-component labelling, discovered at freeze time.
+    components: Arc<ComponentLabels>,
     /// Identifier of each node, indexed by node.
     identifiers: Vec<Identifier>,
 }
 
+/// Checks the `u32` index limits shared by every build path.
+fn check_limits(graph: &Graph) -> (usize, usize) {
+    let n = graph.node_count();
+    assert!(
+        u32::try_from(n).is_ok_and(|n| n < u32::MAX),
+        "CSR snapshots index nodes with u32; {n} nodes do not fit"
+    );
+    let directed_edges = 2 * graph.edge_count();
+    assert!(
+        u32::try_from(directed_edges).is_ok(),
+        "CSR snapshots index edge offsets with u32; {directed_edges} edge endpoints do not fit"
+    );
+    (n, directed_edges)
+}
+
 impl CsrGraph {
     /// Builds the snapshot; called through [`Graph::freeze`].
+    ///
+    /// Dispatches to the parallel build for graphs large enough to amortise
+    /// the pool's scheduling overhead and to the serial build otherwise; both
+    /// paths produce bit-identical snapshots, so the cutoff is purely a
+    /// performance choice.
     ///
     /// # Panics
     ///
@@ -60,16 +112,31 @@ impl CsrGraph {
     /// edge limit well below the node limit).
     #[must_use]
     pub fn from_graph(graph: &Graph) -> Self {
-        let n = graph.node_count();
-        assert!(
-            u32::try_from(n).is_ok_and(|n| n < u32::MAX),
-            "CSR snapshots index nodes with u32; {n} nodes do not fit"
-        );
-        let directed_edges = 2 * graph.edge_count();
-        assert!(
-            u32::try_from(directed_edges).is_ok(),
-            "CSR snapshots index edge offsets with u32; {directed_edges} edge endpoints do not fit"
-        );
+        let (n, directed_edges) = check_limits(graph);
+        // The parallel build only wins with real concurrency underneath: a
+        // 1-participant pool runs it inline with pure overhead, and a pool
+        // oversubscribed onto a single core pays for contention instead of
+        // parallelism. Both paths are bit-identical, so this is purely a
+        // performance choice.
+        let effective_parallelism = rayon::current_num_threads()
+            .min(std::thread::available_parallelism().map_or(1, usize::from));
+        if n + directed_edges < PARALLEL_FREEZE_CUTOFF || effective_parallelism <= 1 {
+            CsrGraph::from_graph_serial(graph)
+        } else {
+            CsrGraph::from_graph_parallel(graph)
+        }
+    }
+
+    /// The serial reference build: one left-to-right pass over the adjacency
+    /// lists, then a BFS component sweep. [`CsrGraph::from_graph_parallel`]
+    /// is property-tested bit-identical to this.
+    ///
+    /// # Panics
+    ///
+    /// Same limits as [`CsrGraph::from_graph`].
+    #[must_use]
+    pub fn from_graph_serial(graph: &Graph) -> Self {
+        let (n, directed_edges) = check_limits(graph);
         let mut offsets = Vec::with_capacity(n + 1);
         let mut targets = Vec::with_capacity(directed_edges);
         offsets.push(0);
@@ -79,9 +146,54 @@ impl CsrGraph {
             }
             offsets.push(targets.len() as u32);
         }
+        let components = ComponentLabels::of_csr_serial(&offsets, &targets);
         CsrGraph {
             offsets: offsets.into(),
             targets: targets.into(),
+            components: Arc::new(components),
+            identifiers: graph.identifiers().collect(),
+        }
+    }
+
+    /// The parallel build: degrees counted in parallel, offsets prefix-summed,
+    /// targets scattered by recursive node-range splitting (each node writes
+    /// only its own `offsets[v] .. offsets[v + 1]` slice), and components
+    /// labelled by a parallel union-find over the finished arrays.
+    ///
+    /// Exposed (rather than folded into the [`CsrGraph::from_graph`] cutoff)
+    /// so equivalence tests and the freeze benchmark can force this path on
+    /// graphs of any size.
+    ///
+    /// # Panics
+    ///
+    /// Same limits as [`CsrGraph::from_graph`].
+    #[must_use]
+    pub fn from_graph_parallel(graph: &Graph) -> Self {
+        let (n, directed_edges) = check_limits(graph);
+        // Degree count: one independent O(1) lookup per node.
+        let degrees: Vec<u32> =
+            (0..n).into_par_iter().map(|v| graph.degree(NodeId::new(v)) as u32).collect();
+        // Offsets: a serial prefix sum — O(n) additions, negligible next to
+        // the O(n + m) scatter it unblocks.
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut running = 0u32;
+        offsets.push(0);
+        for &d in &degrees {
+            running += d;
+            offsets.push(running);
+        }
+        debug_assert_eq!(running as usize, directed_edges);
+        // Scatter: every node owns the disjoint slice
+        // `targets[offsets[v] .. offsets[v + 1]]`, so recursively splitting
+        // the node range (and the target slice at the matching offset) lets
+        // the pool fill the halves concurrently without locks or unsafe.
+        let mut targets = vec![0u32; directed_edges];
+        scatter(graph, &offsets, &mut targets, 0, n);
+        let components = ComponentLabels::of_csr_parallel(&offsets, &targets);
+        CsrGraph {
+            offsets: offsets.into(),
+            targets: targets.into(),
+            components: Arc::new(components),
             identifiers: graph.identifiers().collect(),
         }
     }
@@ -110,6 +222,32 @@ impl CsrGraph {
         &self.targets[self.offsets[v as usize] as usize..self.offsets[v as usize + 1] as usize]
     }
 
+    /// The raw offset array (`offsets[v] .. offsets[v + 1]` brackets node
+    /// `v`'s slice of [`CsrGraph::targets`]).
+    #[must_use]
+    pub fn offsets(&self) -> &[u32] {
+        &self.offsets
+    }
+
+    /// The raw concatenated neighbour lists, in port order.
+    #[must_use]
+    pub fn targets(&self) -> &[u32] {
+        &self.targets
+    }
+
+    /// The connected-component labelling discovered when the snapshot was
+    /// frozen.
+    #[must_use]
+    pub fn components(&self) -> &ComponentLabels {
+        &self.components
+    }
+
+    /// Returns `true` when the snapshot has at most one component.
+    #[must_use]
+    pub fn is_connected(&self) -> bool {
+        self.components.is_connected()
+    }
+
     /// Identifier of node `v`.
     #[must_use]
     pub fn identifier(&self, v: u32) -> Identifier {
@@ -126,6 +264,14 @@ impl CsrGraph {
     #[must_use]
     pub fn node_id(&self, v: u32) -> NodeId {
         NodeId::new(v as usize)
+    }
+
+    /// Iterator over all undirected edges as `(u, v)` node-index pairs with
+    /// `u < v`, in node order — the edge stream the measure layer folds over.
+    pub fn edges(&self) -> impl Iterator<Item = (u32, u32)> + '_ {
+        (0..self.node_count() as u32).flat_map(move |v| {
+            self.neighbors(v).iter().copied().filter_map(move |u| (v < u).then_some((v, u)))
+        })
     }
 
     /// Replaces the identifier table, keeping the frozen adjacency.
@@ -147,6 +293,31 @@ impl CsrGraph {
         self.identifiers.clear();
         self.identifiers.extend_from_slice(identifiers);
     }
+}
+
+/// Fills `targets` (the slice covering nodes `lo..hi`) with the neighbour
+/// lists of those nodes, splitting the range across the pool above
+/// [`SCATTER_GRAIN`].
+fn scatter(graph: &Graph, offsets: &[u32], targets: &mut [u32], lo: usize, hi: usize) {
+    if hi - lo <= SCATTER_GRAIN {
+        let base = offsets[lo] as usize;
+        let mut cursor = 0usize;
+        for v in lo..hi {
+            for &u in graph.neighbors(NodeId::new(v)) {
+                targets[cursor] = u.index() as u32;
+                cursor += 1;
+            }
+            debug_assert_eq!(cursor, offsets[v + 1] as usize - base);
+        }
+        return;
+    }
+    let mid = lo + (hi - lo) / 2;
+    let split = (offsets[mid] - offsets[lo]) as usize;
+    let (left, right) = targets.split_at_mut(split);
+    rayon::join(
+        || scatter(graph, offsets, left, lo, mid),
+        || scatter(graph, offsets, right, mid, hi),
+    );
 }
 
 #[cfg(test)]
@@ -173,6 +344,7 @@ mod tests {
                 assert_eq!(csr.degree(v.index() as u32), g.degree(v));
                 assert_eq!(csr.identifier(v.index() as u32), g.identifier(v));
             }
+            assert!(csr.is_connected());
         }
     }
 
@@ -182,6 +354,59 @@ mod tests {
         assert_eq!(csr.node_count(), 0);
         assert_eq!(csr.edge_count(), 0);
         assert!(csr.identifiers().is_empty());
+        assert!(csr.is_connected());
+        assert_eq!(csr.components().count(), 0);
+    }
+
+    #[test]
+    fn parallel_build_matches_serial_on_every_small_family() {
+        let graphs = [
+            generators::cycle(9).unwrap(),
+            generators::path(5).unwrap(),
+            generators::grid(3, 4).unwrap(),
+            generators::complete(6).unwrap(),
+            generators::star(7).unwrap(),
+            Graph::new(),
+        ];
+        for g in &graphs {
+            assert_eq!(CsrGraph::from_graph_serial(g), CsrGraph::from_graph_parallel(g));
+        }
+    }
+
+    #[test]
+    fn parallel_build_matches_serial_above_the_cutoff() {
+        let g = generators::cycle(PARALLEL_FREEZE_CUTOFF).unwrap();
+        let serial = CsrGraph::from_graph_serial(&g);
+        let parallel = CsrGraph::from_graph_parallel(&g);
+        assert_eq!(serial, parallel);
+        // The dispatching entry point agrees with both.
+        assert_eq!(g.freeze(), serial);
+    }
+
+    #[test]
+    fn edges_iterate_each_edge_once() {
+        let g = generators::grid(3, 4).unwrap();
+        let csr = g.freeze();
+        let edges: Vec<(u32, u32)> = csr.edges().collect();
+        assert_eq!(edges.len(), g.edge_count());
+        for &(u, v) in &edges {
+            assert!(u < v);
+            assert!(g.contains_edge(NodeId::new(u as usize), NodeId::new(v as usize)));
+        }
+    }
+
+    #[test]
+    fn disconnected_snapshot_reports_components() {
+        let mut g = Graph::new();
+        for i in 0..6 {
+            g.add_node(crate::Identifier::new(i));
+        }
+        g.add_edge(NodeId::new(0), NodeId::new(2)).unwrap();
+        g.add_edge(NodeId::new(3), NodeId::new(4)).unwrap();
+        let csr = g.freeze();
+        assert!(!csr.is_connected());
+        assert_eq!(csr.components().count(), 4);
+        assert_eq!(csr.components().sizes(), &[2, 1, 2, 1]);
     }
 
     #[test]
@@ -209,6 +434,8 @@ mod tests {
         let mut clone = csr.clone();
         // The adjacency is behind an Arc: a clone points at the same arrays…
         assert!(std::ptr::eq(csr.neighbors(0).as_ptr(), clone.neighbors(0).as_ptr()));
+        // …and so is the component labelling…
+        assert!(Arc::ptr_eq(&csr.components, &clone.components));
         // …while the identifier table stays independent.
         clone.set_identifiers(&(0..6).rev().map(Identifier::new).collect::<Vec<_>>());
         assert_ne!(csr.identifier(0), clone.identifier(0));

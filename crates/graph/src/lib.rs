@@ -46,6 +46,7 @@
 mod assignment;
 pub mod ball;
 mod builder;
+pub mod components;
 pub mod csr;
 mod error;
 pub mod generators;
@@ -62,6 +63,7 @@ pub mod traversal;
 pub use assignment::IdAssignment;
 pub use ball::{arm, extract_ball, Ball};
 pub use builder::GraphBuilder;
+pub use components::{ComponentLabels, ComponentMode};
 pub use csr::CsrGraph;
 pub use error::{GraphError, Result};
 pub use graph::Graph;

@@ -21,6 +21,7 @@ use std::fmt;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
+use crate::components::ComponentMode;
 use crate::error::{GraphError, Result};
 use crate::{generators, traversal, Graph};
 
@@ -182,8 +183,9 @@ impl Topology {
     /// `Gnp` this is the first draw whether or not it is connected, for every
     /// other family it equals [`Topology::build`].
     ///
-    /// Exposed so tests can construct deliberately disconnected instances;
-    /// the sweep layer always goes through [`Topology::build`].
+    /// This is the build the per-component experiment mode uses (via
+    /// [`Topology::build_for`]); tests also use it to construct deliberately
+    /// disconnected instances.
     ///
     /// # Errors
     ///
@@ -192,6 +194,27 @@ impl Topology {
         match self {
             Topology::Gnp { p, seed } => gnp_draw(n, *p, *seed, 0),
             deterministic => deterministic.build(n),
+        }
+    }
+
+    /// Builds an instance under the given [`ComponentMode`].
+    ///
+    /// [`ComponentMode::RequireConnected`] is [`Topology::build`]: random
+    /// families are redrawn from derived seeds until connected, and a
+    /// persistently disconnected family is a hard error.
+    /// [`ComponentMode::PerComponent`] is [`Topology::build_unchecked`]: the
+    /// **first** draw is used as-is — no connectivity check runs and no
+    /// derived seeds are burnt on redraws, because a disconnected instance
+    /// is exactly what the caller asked to study.
+    ///
+    /// # Errors
+    ///
+    /// Size errors for both modes; [`GraphError::Disconnected`] only in
+    /// [`ComponentMode::RequireConnected`].
+    pub fn build_for(&self, n: usize, mode: ComponentMode) -> Result<Graph> {
+        match mode {
+            ComponentMode::RequireConnected => self.build(n),
+            ComponentMode::PerComponent => self.build_unchecked(n),
         }
     }
 }
@@ -306,6 +329,38 @@ mod tests {
         let raw = Topology::Gnp { p: 0.0, seed: 1 }.build_unchecked(8).unwrap();
         assert_eq!(raw.edge_count(), 0);
         assert!(!traversal::is_connected(&raw));
+    }
+
+    #[test]
+    fn per_component_mode_skips_the_redraw_loop() {
+        // In per-component mode a subcritical G(n, p) is a supported
+        // instance, not an error — and it is exactly the first draw, so no
+        // derived seeds are burnt on redraws.
+        let topology = Topology::Gnp { p: 0.0, seed: 1 };
+        let g = topology.build_for(8, ComponentMode::PerComponent).unwrap();
+        assert_eq!(g, topology.build_unchecked(8).unwrap());
+        assert_eq!(g.edge_count(), 0);
+        // The connected mode still redraws and still fails loudly.
+        let err = topology.build_for(8, ComponentMode::RequireConnected).unwrap_err();
+        assert!(matches!(err, GraphError::Disconnected { .. }));
+        // Deterministic families are unaffected by the mode.
+        for mode in [ComponentMode::RequireConnected, ComponentMode::PerComponent] {
+            assert_eq!(
+                Topology::Cycle.build_for(10, mode).unwrap(),
+                Topology::Cycle.build(10).unwrap()
+            );
+        }
+    }
+
+    #[test]
+    fn per_component_mode_matches_connected_build_on_supercritical_gnp() {
+        // Above the connectivity threshold the first draw is almost surely
+        // connected, so both modes hand back the same instance.
+        let topology = Topology::gnp_connected(48, 7);
+        assert_eq!(
+            topology.build_for(48, ComponentMode::PerComponent).unwrap(),
+            topology.build_for(48, ComponentMode::RequireConnected).unwrap()
+        );
     }
 
     #[test]

@@ -22,7 +22,7 @@ fn main() -> Result<(), avglocal::CoreError> {
         let random = random_permutation_study(problem, n, 10, 1)?;
         let section3 = section3_assignment(problem, n)?;
         let adversarial = run_on_cycle(problem, n, &section3)?;
-        let climbed = AdversarySearch::new(problem, Measure::Average)
+        let climbed = AdversarySearch::new(problem, Measure::NodeAveraged)
             .hill_climb(n, 2, 60, 7)
             .map(|r| r.objective)?;
         let bound = match problem {

@@ -1,0 +1,136 @@
+//! The parallel `Graph::freeze` against its serial reference.
+//!
+//! The parallel build (parallel degree count, prefix-sum offsets, race-free
+//! parallel scatter, lock-free union-find component labelling) must be
+//! **bit-identical** to the serial left-to-right build on every input: CSR
+//! offsets and targets, identifier table, and the canonical component
+//! labelling. `CsrGraph`'s derived `PartialEq` covers all four, and the
+//! component labelling is additionally cross-checked against the
+//! BFS-based `traversal::connected_components`.
+//!
+//! Thread counts: the pool size is process-global (`AVG_LOCAL_THREADS`), so
+//! CI runs this suite under both the 1-thread sequential-reference pool and
+//! the pinned 4-thread pool; `Graph::freeze_parallel` exercises the parallel
+//! code path in both cases (a 1-participant pool runs it inline).
+
+use avglocal::graph::csr::CsrGraph;
+use avglocal::graph::{traversal, ComponentLabels, ComponentMode};
+use avglocal::prelude::*;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Sizes for which every deterministic family (including the torus) has an
+/// instance.
+const UNIVERSAL_SIZES: [usize; 3] = [9, 16, 24];
+
+fn assert_freeze_agreement(graph: &Graph) {
+    let serial = graph.freeze_serial();
+    let parallel = graph.freeze_parallel();
+    // Offsets, targets, identifiers and component labels, all at once.
+    assert_eq!(serial, parallel);
+    // The dispatching entry point picks one of the two, so it agrees too.
+    assert_eq!(graph.freeze(), serial);
+    // The component labelling matches the BFS ground truth: same partition,
+    // components numbered by smallest member.
+    let expected = traversal::connected_components(graph);
+    let labels = serial.components();
+    assert_eq!(labels.count(), expected.len());
+    for (c, nodes) in expected.iter().enumerate() {
+        assert_eq!(labels.sizes()[c] as usize, nodes.len());
+        for &v in nodes {
+            assert_eq!(labels.label(v), c as u32);
+        }
+    }
+    assert_eq!(labels.is_connected(), traversal::is_connected(graph));
+    // The standalone graph labelling agrees with the freeze-time one.
+    assert_eq!(&ComponentLabels::of_graph(graph), labels);
+}
+
+#[test]
+fn freeze_agrees_on_every_topology_family() {
+    for &n in &UNIVERSAL_SIZES {
+        for topology in Topology::DETERMINISTIC {
+            assert_freeze_agreement(&topology.build(n).unwrap());
+        }
+        assert_freeze_agreement(&Topology::gnp_connected(n, 7).build(n).unwrap());
+    }
+}
+
+#[test]
+fn freeze_agrees_on_disconnected_instances() {
+    // Subcritical G(n, p) instances in per-component mode are the graphs the
+    // component labelling exists for.
+    for seed in 0..8u64 {
+        let n = 48;
+        let topology = Topology::Gnp { p: 0.6 / n as f64, seed };
+        let graph = topology.build_for(n, ComponentMode::PerComponent).unwrap();
+        assert_freeze_agreement(&graph);
+    }
+    // The degenerate extremes: no edges at all, and the empty graph.
+    assert_freeze_agreement(&Topology::Gnp { p: 0.0, seed: 1 }.build_unchecked(16).unwrap());
+    assert_freeze_agreement(&Graph::new());
+}
+
+#[test]
+fn freeze_agrees_on_large_instances_past_the_parallel_cutoff() {
+    // Large enough that `freeze()` takes the parallel path on a multi-thread
+    // pool: the dispatch itself must stay invisible.
+    let n = 1 << 13;
+    for topology in [Topology::Cycle, Topology::Grid] {
+        assert_freeze_agreement(&topology.build(n).unwrap());
+    }
+}
+
+#[test]
+fn frozen_components_feed_the_executors_unchanged() {
+    // A frozen snapshot of a disconnected graph still runs (balls saturate
+    // at the component), and the labelling the executors would consult is
+    // the same one the serial reference computes.
+    let graph = Topology::Gnp { p: 0.02, seed: 3 }.build_unchecked(40).unwrap();
+    let csr = graph.freeze();
+    assert_eq!(csr.components(), graph.freeze_serial().components());
+    assert_eq!(CsrGraph::from_graph(&graph), csr);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Random multigraph-free edge sets: the parallel freeze matches the
+    /// serial reference on arbitrary (often disconnected) graphs.
+    #[test]
+    fn freeze_agrees_on_random_graphs(n in 1usize..64, extra in 0usize..96, seed in 0u64..1000) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut graph = Graph::new();
+        for i in 0..n {
+            graph.add_node(Identifier::new(i as u64));
+        }
+        for _ in 0..extra {
+            let u = NodeId::new(rng.gen_range(0..n));
+            let v = NodeId::new(rng.gen_range(0..n));
+            if u != v && !graph.contains_edge(u, v) {
+                graph.add_edge(u, v).unwrap();
+            }
+        }
+        let serial = graph.freeze_serial();
+        let parallel = graph.freeze_parallel();
+        prop_assert_eq!(&serial, &parallel);
+        prop_assert_eq!(
+            serial.components().count(),
+            traversal::connected_components(&graph).len()
+        );
+    }
+
+    /// Repeated parallel freezes of the same graph are identical — the
+    /// union-find's canonical labelling is independent of scheduling.
+    #[test]
+    fn parallel_freeze_is_deterministic(seed in 0u64..200) {
+        let n = 96;
+        let topology = Topology::Gnp { p: 1.2 / n as f64, seed };
+        let graph = topology.build_unchecked(n).unwrap();
+        let first = graph.freeze_parallel();
+        for _ in 0..3 {
+            prop_assert_eq!(&graph.freeze_parallel(), &first);
+        }
+    }
+}
