@@ -4,8 +4,11 @@
 //! freeze), the **skewed scheduling block** (clustered adversarial
 //! assignment, work-stealing vs static chunks vs the sequential reference),
 //! the **pool block** (many small trials on the persistent pool vs the
-//! spawn-per-call baseline) and the **freeze block** (parallel vs serial
-//! `Graph::freeze`, bit-identical by assertion).
+//! spawn-per-call baseline), the **freeze block** (parallel vs serial
+//! `Graph::freeze`, bit-identical by assertion) and the **hub block** (the
+//! E9 hub adversary on the committed preferential-attachment family: sweep
+//! wall time plus the measured edge/node detachment, gated at the
+//! regular-family sandwich bound of 2).
 //!
 //! Writes `BENCH_e1.json` (next to the current working directory) so the
 //! repository keeps a perf trajectory across PRs, and exits non-zero if any
@@ -80,6 +83,15 @@ struct FreezeRow {
     edges: usize,
     serial_ms: f64,
     parallel_ms: f64,
+}
+
+struct HubRow {
+    n: usize,
+    edges: usize,
+    hub_degree: usize,
+    edge_node_ratio: f64,
+    assignment_ms: f64,
+    sweep_ms: f64,
 }
 
 /// One regression gate of the `--check` suite: the measured speedup of a
@@ -349,6 +361,54 @@ fn main() -> ExitCode {
         freeze_rows.push(FreezeRow { n, edges: serial.edge_count(), serial_ms, parallel_ms });
     }
 
+    // The hub datapoint: the E9 acceptance configuration — the hub
+    // adversary on the committed preferential-attachment tree — timed
+    // through the sweep harness, with the measured edge/node detachment
+    // recorded and gated (a connected family must escape the regular-family
+    // sandwich bound of 2). Everything here is deterministic (fixed family
+    // seed, fixed assignment), so the ratio gate is exact, not statistical.
+    let hub_sizes: &[usize] = if quick { &[64] } else { &[64, 128, 256] };
+    let hub_topology = Topology::PreferentialAttachment { m: 1, seed: 13 };
+    println!("\nE1 hub detachment: hub adversary on {hub_topology}, edge/node ratio gate >= 2");
+    println!(
+        "{:>6} {:>8} {:>11} {:>11} {:>14} {:>10}",
+        "n", "edges", "hub degree", "edge/node", "assignment ms", "sweep ms"
+    );
+    let mut hub_rows = Vec::new();
+    for &n in hub_sizes {
+        let base = hub_topology.build(n).expect("the committed hub family stays connected");
+        let (assignment, assignment_ms) = measure_ms(|| {
+            hub_adversarial_assignment(&base).expect("the hub adversary works on non-empty graphs")
+        });
+        let (row, sweep_ms) = measure_ms(|| {
+            let result = Sweep::on(Problem::LargestId, hub_topology.clone(), vec![n])
+                .with_policy(AssignmentPolicy::Fixed(assignment.clone()))
+                .run()
+                .expect("largest-ID sweeps run on connected hub families");
+            let mut rows = result.rows;
+            rows.remove(0)
+        });
+        let hub_degree = base.max_degree().expect("hub instances are non-empty");
+        let edge_node_ratio = row.edge_averaged / row.average;
+        println!(
+            "{:>6} {:>8} {:>11} {:>10.2}x {:>14.3} {:>10.3}",
+            n,
+            base.edge_count(),
+            hub_degree,
+            edge_node_ratio,
+            assignment_ms,
+            sweep_ms
+        );
+        hub_rows.push(HubRow {
+            n,
+            edges: base.edge_count(),
+            hub_degree,
+            edge_node_ratio,
+            assignment_ms,
+            sweep_ms,
+        });
+    }
+
     let mut json = String::from("{\n  \"experiment\": \"e1_largest_id_identity\",\n");
     let _ = writeln!(json, "  \"threads\": {threads},");
     let _ = writeln!(json, "  \"available_parallelism\": {cores},");
@@ -440,6 +500,28 @@ fn main() -> ExitCode {
             if i + 1 == freeze_rows.len() { "" } else { "," }
         );
     }
+    json.push_str("    ]\n  },\n  \"hub\": {\n");
+    json.push_str(
+        "    \"description\": \"E9 hub detachment: the hub adversary on the committed \
+         preferential-attachment tree (m=1, seed=13) through the sweep harness; \
+         edge_node_ratio is the edge-averaged/node-averaged detachment of the connected \
+         instance and is gated at >= 2 (the regular-family sandwich bound)\",\n",
+    );
+    let _ = writeln!(json, "    \"threads\": {threads},");
+    json.push_str("    \"rows\": [\n");
+    for (i, row) in hub_rows.iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "      {{\"n\": {}, \"edges\": {}, \"hub_degree\": {}, \"edge_node_ratio\": {:.2}, \"assignment_ms\": {:.3}, \"sweep_ms\": {:.3}}}{}",
+            row.n,
+            row.edges,
+            row.hub_degree,
+            row.edge_node_ratio,
+            row.assignment_ms,
+            row.sweep_ms,
+            if i + 1 == hub_rows.len() { "" } else { "," }
+        );
+    }
     json.push_str("    ]\n  }\n}\n");
     fs::write("BENCH_e1.json", &json).expect("BENCH_e1.json must be writable");
     println!("\nwrote BENCH_e1.json");
@@ -494,6 +576,15 @@ fn main() -> ExitCode {
             0.25,
         ));
     }
+    // The hub gate is deterministic (fixed family seed + fixed assignment),
+    // so it applies at full strength everywhere — quick mode, 1-core
+    // containers, every leg of the thread matrix.
+    let min_hub_ratio = hub_rows.iter().map(|r| r.edge_node_ratio).fold(f64::INFINITY, f64::min);
+    gates.push(Gate::full(
+        "hub: edge/node detachment on the connected pa tree",
+        min_hub_ratio,
+        2.0,
+    ));
 
     println!("\nregression gates ({threads} thread(s), {cores} core(s)):");
     let mut failed = false;

@@ -7,6 +7,7 @@
 //! cargo run --release -p avglocal-bench --bin experiments -- --e3    # only E3
 //! cargo run --release -p avglocal-bench --bin experiments -- --e7    # cross-topology sweep
 //! cargo run --release -p avglocal-bench --bin experiments -- --e8    # measure comparison
+//! cargo run --release -p avglocal-bench --bin experiments -- --e9    # hub-weighted families
 //! cargo run --release -p avglocal-bench --bin experiments -- --quick # reduced sizes
 //! cargo run --release -p avglocal-bench --bin experiments -- --csv   # CSV output
 //! ```
@@ -20,11 +21,11 @@ fn main() {
     let quick = args.iter().any(|a| a == "--quick");
     let csv = args.iter().any(|a| a == "--csv");
     let selected: Vec<usize> =
-        (1..=8).filter(|i| args.iter().any(|a| a == &format!("--e{i}"))).collect();
+        (1..=9).filter(|i| args.iter().any(|a| a == &format!("--e{i}"))).collect();
     let run_all = selected.is_empty();
 
     type TableBuilder = fn(bool) -> avglocal::report::Table;
-    let builders: [(usize, TableBuilder); 8] = [
+    let builders: [(usize, TableBuilder); 9] = [
         (1, tables::table_e1),
         (2, tables::table_e2),
         (3, tables::table_e3),
@@ -33,6 +34,7 @@ fn main() {
         (6, tables::table_e6),
         (7, tables::table_e7),
         (8, tables::table_e8),
+        (9, tables::table_e9),
     ];
 
     println!("avglocal experiment harness ({} sizes)\n", if quick { "quick" } else { "full" });
@@ -61,6 +63,9 @@ fn main() {
         }
         if run_all || selected.contains(&8) {
             println!("{}", avglocal_bench::figure_f4(quick));
+        }
+        if run_all || selected.contains(&9) {
+            println!("{}", avglocal_bench::figure_f5(quick));
         }
     }
 }

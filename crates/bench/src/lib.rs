@@ -17,6 +17,7 @@
 //! | E6 | motivating applications (Section 1) | `benches/e6_applications.rs` |
 //! | E7 | node-averaged complexity beyond the ring (BGKO line) | `bin/experiments.rs --e7` |
 //! | E8 | node- vs edge-averaged vs worst-case measures | `bin/experiments.rs --e8` |
+//! | E9 | hub-weighted families: edge/node detachment while connected | `bin/experiments.rs --e9` |
 //!
 //! The Criterion benches measure the *simulator's* throughput on each
 //! experiment workload; the actual result tables (who wins, by how much) are
@@ -30,6 +31,6 @@
 pub mod tables;
 
 pub use tables::{
-    all_tables, figure_f1, figure_f2, figure_f3, figure_f4, table_e1, table_e2, table_e3, table_e4,
-    table_e5, table_e6, table_e7, table_e8,
+    all_tables, figure_f1, figure_f2, figure_f3, figure_f4, figure_f5, table_e1, table_e2,
+    table_e3, table_e4, table_e5, table_e6, table_e7, table_e8, table_e9,
 };

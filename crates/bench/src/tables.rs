@@ -560,6 +560,227 @@ pub fn figure_f4(quick: bool) -> String {
     ])
 }
 
+/// The two hub-weighted families E9 studies, with the seeds committed after
+/// a determinism scan: both build **connected** instances at every size the
+/// table uses (preferential attachment by construction, the configuration
+/// model through the redraw loop), and both detach the averaged measures
+/// under the hub adversary.
+fn e9_families() -> Vec<(&'static str, Topology, Vec<usize>, Vec<usize>)> {
+    vec![
+        // (label, family, quick sizes, full sizes)
+        (
+            "pa tree",
+            Topology::PreferentialAttachment { m: 1, seed: 13 },
+            vec![64],
+            vec![64, 128, 256],
+        ),
+        (
+            "powerlaw",
+            Topology::PowerLawConfiguration { gamma: 2.5, seed: 11 },
+            vec![64],
+            vec![64, 128],
+        ),
+    ]
+}
+
+/// One E9 row from a [`SweepRow`]: the measure columns plus the
+/// hub-specific ones (the max-degree node's degree and radius, and the
+/// degree-weighted node average — which is exactly the mean-endpoint edge
+/// average).
+fn e9_row(setting: String, row: &SweepRow, hub_degree: usize, hub_radius: usize) -> Vec<String> {
+    vec![
+        setting,
+        row.n.to_string(),
+        fmt_float(row.average),
+        fmt_float(row.edge_averaged),
+        fmt_ratio(row.edge_averaged, row.average),
+        fmt_float(row.edge_averaged_mean),
+        hub_degree.to_string(),
+        hub_radius.to_string(),
+        fmt_float(row.median),
+        fmt_float(row.worst_case),
+        row.components.to_string(),
+    ]
+}
+
+/// The [`e9_row`] shape from a single-execution [`MeasureSet`] (the hub
+/// adversary is one fixed assignment, so its rows are one run each). The
+/// instance came from `Topology::build`, which guarantees connectivity —
+/// the components column is 1 by contract.
+fn e9_measure_row(
+    setting: String,
+    set: &MeasureSet,
+    hub_degree: usize,
+    hub_radius: usize,
+) -> Vec<String> {
+    vec![
+        setting,
+        set.nodes.to_string(),
+        fmt_float(set.node_averaged),
+        fmt_float(set.edge_averaged),
+        fmt_ratio(set.edge_averaged, set.node_averaged),
+        fmt_float(set.edge_averaged_mean),
+        hub_degree.to_string(),
+        hub_radius.to_string(),
+        fmt_float(set.median),
+        fmt_float(set.worst_case),
+        "1".to_string(),
+    ]
+}
+
+/// Runs the hub adversary once on one instance of `topology` and folds
+/// every measure (including the CDF) out of the single execution: one
+/// build, one run — the same fold a one-trial sweep performs, without
+/// re-building the deterministic instance. Returns the measures together
+/// with the hub's degree and radius.
+fn e9_hub_sweep(topology: &Topology, n: usize) -> (MeasureSet, usize, usize) {
+    let mut graph =
+        topology.build(n).expect("E9 families build connected instances at table sizes");
+    // The adversary module owns the crowning rule; the report must describe
+    // the same node that receives the maximum identifier.
+    let hub = top_hub(&graph).expect("E9 instances are non-empty");
+    let hub_degree = graph.degree(hub);
+    let assignment =
+        hub_adversarial_assignment(&graph).expect("the hub adversary works on non-empty graphs");
+    assignment.apply(&mut graph).expect("the hub adversary is a valid permutation");
+    let profile =
+        Problem::LargestId.run(&graph).expect("largest ID runs on every connected family");
+    let hub_radius = profile.radius(hub).expect("the hub has a radius");
+    (MeasureSet::of(&profile, &graph), hub_degree, hub_radius)
+}
+
+/// E9 — hub-weighted families: the node/edge-averaged detachment while
+/// connected.
+///
+/// Every family E7/E8 sweep is near-regular, so the bounded-degree sandwich
+/// pins the edge-averaged measure within `[1, 2]x` the node-averaged one;
+/// the only detachment E8 could show needed a *disconnected* instance
+/// (isolated nodes dilute the node average). E9 closes the gap from the
+/// other side, exactly as the BGKO line predicts: on a **connected**
+/// hub-weighted family the two averages detach because a hub weighs once in
+/// the node average but `deg(hub)` times in the edge average.
+///
+/// Three sections:
+///
+/// 1. *Hub adversary on hub families* ([`hub_adversarial_assignment`]): the
+///    top identifiers sit on pairwise-far hubs, so every non-hub node stops
+///    at radius 1 while each hub pays its separation (the top hub its full
+///    eccentricity). The `edge/node` column exceeds the sandwich bound of 2
+///    with a single connected component — the acceptance row.
+/// 2. *The same adversary on the cycle*: 2-regularity keeps the ratio inside
+///    `[1, 2]` no matter how adversarial the assignment — the sandwich is a
+///    property of the family, not of the adversary.
+/// 3. *Hub families under random identifiers*: hubs see a huge radius-1
+///    neighbourhood and stop almost immediately, so the degree-weighted
+///    average drops *below* the node average — the opposite-signed
+///    detachment, also invisible on regular families.
+#[must_use]
+pub fn table_e9(quick: bool) -> Table {
+    let mut table = Table::new(
+        "E9: hub-weighted families — edge/node detachment while connected",
+        &[
+            "setting",
+            "n",
+            "node avg",
+            "edge avg (max)",
+            "edge/node",
+            "deg-wtd avg",
+            "hub degree",
+            "hub radius",
+            "median",
+            "worst case",
+            "components",
+        ],
+    );
+    // Section 1: the hub adversary on the hub-weighted families.
+    for (name, topology, quick_sizes, full_sizes) in e9_families() {
+        for &n in if quick { &quick_sizes } else { &full_sizes } {
+            let (set, hub_degree, hub_radius) = e9_hub_sweep(&topology, n);
+            table.push_row(e9_measure_row(
+                format!("{name}, hub adversary"),
+                &set,
+                hub_degree,
+                hub_radius,
+            ));
+        }
+    }
+    // Section 2: the same adversary cannot escape the sandwich on the cycle.
+    let n = if quick { 64 } else { 256 };
+    let (set, hub_degree, hub_radius) = e9_hub_sweep(&Topology::Cycle, n);
+    table.push_row(e9_measure_row(
+        "cycle, hub adversary".to_string(),
+        &set,
+        hub_degree,
+        hub_radius,
+    ));
+    // Section 3: random identifiers on the hub families — hubs decide early,
+    // the degree-weighted average drops below the node average. The hub
+    // radius column comes from trial 0 of the SAME policy the sweep runs
+    // (`assignment_for_trial` derives the per-trial seed), so it is one of
+    // the executions the averaged columns actually aggregate.
+    let trials = if quick { 2 } else { 3 };
+    let policy = AssignmentPolicy::Random { base_seed: 29 };
+    for (name, topology, quick_sizes, full_sizes) in e9_families() {
+        let n = *if quick { &quick_sizes } else { &full_sizes }.last().expect("sizes non-empty");
+        let base = topology.build(n).expect("E9 families build connected instances");
+        let hub = top_hub(&base).expect("E9 instances are non-empty");
+        let profile =
+            run_on_topology(Problem::LargestId, &topology, n, &policy.assignment_for_trial(0))
+                .expect("largest ID runs on every connected family");
+        let result = Sweep::on(Problem::LargestId, topology.clone(), vec![n])
+            .with_policy(policy.clone())
+            .with_trials(trials)
+            .run()
+            .expect("largest-ID sweeps run on every connected family");
+        table.push_row(e9_row(
+            format!("{name}, random ids"),
+            &result.rows[0],
+            base.degree(hub),
+            profile.radius(hub).expect("the hub has a radius"),
+        ));
+    }
+    table
+}
+
+/// Figure F5 — radius CDF curves across families at a fixed size: the full
+/// distribution behind every scalar column of E7/E8/E9. Regular families
+/// rise in lock-step; the hub-adversary curve jumps to ~1 at radius 1 and
+/// then shelves — the handful of far-apart hubs still running long after
+/// the whole network has finished *is* the hub detachment, seen as a
+/// distribution instead of a ratio.
+#[must_use]
+pub fn figure_f5(quick: bool) -> String {
+    let n = if quick { 64 } else { 256 };
+    let trials = if quick { 2 } else { 3 };
+    let mut curves: Vec<(String, avglocal::RadiusCdf)> = Vec::new();
+    for (name, family) in [
+        ("cycle", Topology::Cycle),
+        ("tree", Topology::CompleteBinaryTree),
+        ("grid", Topology::Grid),
+    ] {
+        let result = Sweep::on(Problem::LargestId, family, vec![n])
+            .with_policy(AssignmentPolicy::Random { base_seed: 31 })
+            .with_trials(trials)
+            .run()
+            .expect("largest-ID sweeps run on every deterministic family");
+        let mut rows = result.rows;
+        curves.push((format!("{name} (random ids)"), rows.remove(0).cdf));
+    }
+    let pa = Topology::PreferentialAttachment { m: 1, seed: 13 };
+    let result = Sweep::on(Problem::LargestId, pa.clone(), vec![n])
+        .with_policy(AssignmentPolicy::Random { base_seed: 31 })
+        .with_trials(trials)
+        .run()
+        .expect("largest-ID sweeps run on preferential attachment");
+    let mut rows = result.rows;
+    curves.push(("pa tree (random ids)".to_string(), rows.remove(0).cdf));
+    let (set, _, _) = e9_hub_sweep(&pa, n);
+    curves.push(("pa tree (hub adversary)".to_string(), set.cdf));
+    let series: Vec<(String, &avglocal::RadiusCdf)> =
+        curves.iter().map(|(name, cdf)| (name.clone(), cdf)).collect();
+    avglocal::figure::cdf_chart(&format!("F5: radius CDFs across families at n = {n}"), &series, 14)
+}
+
 /// All tables, in experiment order.
 #[must_use]
 pub fn all_tables(quick: bool) -> Vec<Table> {
@@ -572,6 +793,7 @@ pub fn all_tables(quick: bool) -> Vec<Table> {
         table_e6(quick),
         table_e7(quick),
         table_e8(quick),
+        table_e9(quick),
     ]
 }
 
@@ -711,6 +933,83 @@ mod tests {
     }
 
     #[test]
+    fn e9_detaches_the_averages_on_connected_hub_families() {
+        // The acceptance row of the hub line: on every committed
+        // hub-weighted family the edge/node ratio escapes the regular-family
+        // sandwich bound of 2 with a SINGLE connected component, at every
+        // size the quick table uses.
+        for (name, topology, quick_sizes, _) in e9_families() {
+            for &n in &quick_sizes {
+                // Topology::build promises connectivity for these families;
+                // verify it — the whole point of E9 is a detachment WITHOUT
+                // falling apart.
+                let instance = topology.build(n).unwrap();
+                assert!(
+                    avglocal::graph::traversal::is_connected(&instance),
+                    "{name} must stay connected at n={n}"
+                );
+                let (set, hub_degree, hub_radius) = e9_hub_sweep(&topology, n);
+                assert_eq!(set.nodes, n);
+                assert!(
+                    set.edge_averaged > 2.0 * set.node_averaged,
+                    "{name} at n={n} must escape the sandwich: edge {} vs node {}",
+                    set.edge_averaged,
+                    set.node_averaged
+                );
+                // The hub genuinely is a hub and genuinely pays: its degree
+                // dwarfs the tree's mean of ~2 and its radius is its full
+                // eccentricity (>= the enforced hub separation).
+                assert!(hub_degree >= 10, "{name} hub degree {hub_degree}");
+                assert!(
+                    hub_radius >= avglocal::adversary::HUB_ADVERSARY_SEPARATION,
+                    "{name} hub radius {hub_radius}"
+                );
+                // The execution's distribution tells the same story: almost
+                // every node has output by radius 1, yet a few hubs run on.
+                assert!(set.cdf.fraction_within(1) > 0.8, "{name}");
+                assert_eq!(set.cdf.max_radius(), set.worst_case as usize);
+                assert!(set.worst_case as usize >= hub_radius);
+            }
+        }
+        // The same adversary cannot escape the 2-regular sandwich.
+        let (set, _, _) = e9_hub_sweep(&Topology::Cycle, 64);
+        assert!(set.edge_averaged <= 2.0 * set.node_averaged + 1e-9);
+        assert!(set.edge_averaged >= set.node_averaged - 1e-9);
+    }
+
+    #[test]
+    fn e9_random_ids_detach_in_the_opposite_direction() {
+        // Under random identifiers the hubs decide almost immediately (their
+        // radius-1 ball is huge), so the degree-weighted average — the
+        // mean-endpoint edge average — drops BELOW the node average: the
+        // opposite-signed detachment, equally invisible on regular families.
+        let topology = Topology::PreferentialAttachment { m: 1, seed: 13 };
+        let result = Sweep::on(Problem::LargestId, topology, vec![64])
+            .with_policy(AssignmentPolicy::Random { base_seed: 29 })
+            .with_trials(2)
+            .run()
+            .unwrap();
+        let row = &result.rows[0];
+        assert!(
+            row.edge_averaged_mean < row.average,
+            "hubs decide early: deg-weighted {} vs node {}",
+            row.edge_averaged_mean,
+            row.average
+        );
+    }
+
+    #[test]
+    fn e9_quick_table_has_every_section() {
+        let t = table_e9(true);
+        // 2 hub-adversary rows + 1 cycle row + 2 random-id rows.
+        assert_eq!(t.row_count(), 5);
+        let text = t.to_text();
+        for needle in ["pa tree, hub adversary", "powerlaw, hub adversary", "cycle", "random ids"] {
+            assert!(text.contains(needle), "missing {needle}");
+        }
+    }
+
+    #[test]
     fn figures_render_in_quick_mode() {
         let f1 = figure_f1(true);
         assert!(f1.contains("F1"));
@@ -725,5 +1024,9 @@ mod tests {
         assert!(f4.contains("F4"));
         assert!(f4.contains("edge-averaged radius (max)"));
         assert!(f4.contains("worst-case radius"));
+        let f5 = figure_f5(true);
+        assert!(f5.contains("F5"));
+        assert!(f5.contains("F(r) pa tree (hub adversary)"));
+        assert!(f5.contains("F(r) cycle (random ids)"));
     }
 }

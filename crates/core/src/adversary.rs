@@ -12,7 +12,7 @@
 //!   the proof of Theorem 1.
 
 use avglocal_analysis::logstar::linial_threshold;
-use avglocal_graph::{IdAssignment, Permutation};
+use avglocal_graph::{traversal, Graph, IdAssignment, Permutation};
 use rand::rngs::StdRng;
 use rand::Rng;
 use rand::SeedableRng;
@@ -172,6 +172,119 @@ pub fn section3_assignment(problem: Problem, n: usize) -> Result<IdAssignment> {
     Ok(construction.build_assignment(&oracle))
 }
 
+/// The minimum pairwise distance [`hub_adversarial_assignment`] keeps
+/// between its selected hubs — and therefore a lower bound on every
+/// selected hub's largest-ID radius (the nearest larger identifier always
+/// sits on another selected hub).
+pub const HUB_ADVERSARY_SEPARATION: usize = 3;
+
+/// The node [`hub_adversarial_assignment`] crowns: the maximum-degree node,
+/// ties broken by smallest node index. This is the hub that receives the
+/// **maximum** identifier and therefore pays its full eccentricity under
+/// the largest-ID problem — reporting layers (E9's `hub degree` /
+/// `hub radius` columns) should identify the hub through this function
+/// rather than re-deriving the rule. Returns `None` for the empty graph.
+#[must_use]
+pub fn top_hub(graph: &Graph) -> Option<avglocal_graph::NodeId> {
+    graph.nodes().max_by_key(|&v| (graph.degree(v), std::cmp::Reverse(v.index())))
+}
+
+/// The hub adversary: the identifier assignment under which a hub-weighted
+/// family detaches the edge-averaged measure from the node-averaged one
+/// **while staying connected** (E9).
+///
+/// The construction selects a set of high-degree hubs that are pairwise at
+/// distance at least [`HUB_ADVERSARY_SEPARATION`] (greedily, in decreasing
+/// degree order, among nodes whose degree clearly exceeds the mean), gives
+/// them the **top** identifiers (the highest-degree hub the maximum), and
+/// assigns the remaining identifiers in strictly decreasing order of BFS
+/// distance from the hub set (closer nodes get larger identifiers; ties
+/// broken by node index). Three consequences for the largest-ID problem:
+///
+/// * every non-hub node has a BFS parent strictly closer to the hub set
+///   carrying a strictly larger identifier — it stops at radius exactly 1;
+/// * every hub except the top one runs until it meets a *larger* hub, which
+///   the selection keeps at least [`HUB_ADVERSARY_SEPARATION`] hops away;
+/// * the top hub holds the maximum and must saturate the graph — its radius
+///   is its full eccentricity.
+///
+/// The whole cost of the execution is thus concentrated on exactly the
+/// nodes with the most incident edges. The node average hardly notices
+/// (each hub adds `(r - 1)/n`) while the edge average pays each hub's
+/// radius once per incident edge — on a family whose hubs hold a constant
+/// fraction of the edges, the `edge/node` ratio escapes the `[1, 2]`
+/// bounded-degree sandwich that pins every near-regular family.
+///
+/// On a disconnected graph the nodes unreachable from the hub set are
+/// ordered after the reachable ones (smallest identifiers, same index
+/// tie-break); the construction stays a valid permutation but the hub story
+/// only applies to the hubs' components.
+///
+/// # Errors
+///
+/// Returns [`CoreError::InvalidConfiguration`] for the empty graph.
+pub fn hub_adversarial_assignment(graph: &Graph) -> Result<IdAssignment> {
+    use avglocal_graph::NodeId;
+
+    let n = graph.node_count();
+    let lead = top_hub(graph).ok_or_else(|| CoreError::InvalidConfiguration {
+        reason: "the hub adversary needs a non-empty graph".to_string(),
+    })?;
+    // Hub candidates: degree well above the mean (and at least 3), in
+    // decreasing degree order with index tie-breaks for determinism — the
+    // same ordering whose first element [`top_hub`] exposes.
+    let mean_degree = 2.0 * graph.edge_count() as f64 / n as f64;
+    let degree_floor = ((2.0 * mean_degree).ceil() as usize).max(3);
+    let mut by_degree: Vec<NodeId> = graph.nodes().collect();
+    by_degree.sort_by_key(|&v| (std::cmp::Reverse(graph.degree(v)), v.index()));
+    debug_assert_eq!(by_degree[0], lead, "top_hub is the head of the candidate order");
+
+    // Greedy far-apart selection: the top-degree node always leads; later
+    // candidates join only if they keep the pairwise separation. BFS from
+    // each accepted hub maintains `dist_to_hubs` = min distance to the set.
+    let mut hubs: Vec<NodeId> = vec![lead];
+    let mut dist_to_hubs: Vec<Option<usize>> = {
+        let bfs = traversal::bfs(graph, lead);
+        (0..n).map(|i| bfs.distance(NodeId::new(i))).collect()
+    };
+    for &candidate in by_degree.iter().skip(1) {
+        if graph.degree(candidate) < degree_floor {
+            break;
+        }
+        let far_enough =
+            dist_to_hubs[candidate.index()].is_none_or(|d| d >= HUB_ADVERSARY_SEPARATION);
+        if far_enough {
+            hubs.push(candidate);
+            let bfs = traversal::bfs(graph, candidate);
+            for (slot, i) in dist_to_hubs.iter_mut().zip(0..n) {
+                *slot = match (*slot, bfs.distance(NodeId::new(i))) {
+                    (Some(a), Some(b)) => Some(a.min(b)),
+                    (a, b) => a.or(b),
+                };
+            }
+        }
+    }
+
+    // Identifiers: hubs take the top |hubs| in selection order, everyone
+    // else follows in decreasing distance rank from the hub set (closer =
+    // larger; unreachable nodes last; ties by index).
+    let is_hub: Vec<bool> = {
+        let mut flags = vec![false; n];
+        for &h in &hubs {
+            flags[h.index()] = true;
+        }
+        flags
+    };
+    let mut rest: Vec<usize> = (0..n).filter(|&i| !is_hub[i]).collect();
+    rest.sort_by_key(|&i| (dist_to_hubs[i].unwrap_or(usize::MAX), i));
+    let mut ids = vec![0usize; n];
+    let ranked = hubs.iter().map(|h| h.index()).chain(rest);
+    for (rank, node) in ranked.enumerate() {
+        ids[node] = n - 1 - rank;
+    }
+    IdAssignment::from_vec(ids).map_err(CoreError::from)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -230,6 +343,66 @@ mod tests {
         let b = search.hill_climb(12, 2, 20, 3).unwrap();
         assert_eq!(a.objective, b.objective);
         assert_eq!(a.assignment, b.assignment);
+    }
+
+    #[test]
+    fn hub_adversary_concentrates_the_cost_on_the_hubs() {
+        // On a star, the hub adversary gives the centre the largest id: its
+        // radius is its eccentricity (1), every leaf stops at 1 too.
+        let mut star = avglocal_graph::generators::star(8).unwrap();
+        let assignment = hub_adversarial_assignment(&star).unwrap();
+        assignment.apply(&mut star).unwrap();
+        assert!(star.has_unique_identifiers());
+        let centre = star.nodes().max_by_key(|&v| star.degree(v)).unwrap();
+        assert_eq!(star.identifier(centre).value(), 7, "the centre holds the largest identifier");
+        // On a hub-weighted tree (a caterpillar: star centres strung on a
+        // spine): the top hub saturates (radius = eccentricity), every other
+        // node either stops at radius 1 (it has a closer-to-the-hubs
+        // neighbour with a larger id) or is itself a selected hub paying at
+        // least the enforced separation.
+        let mut g = avglocal_graph::generators::caterpillar(5, 3).unwrap();
+        let assignment = hub_adversarial_assignment(&g).unwrap();
+        assignment.apply(&mut g).unwrap();
+        let profile = Problem::LargestId.run(&g).unwrap();
+        let top = g.max_identifier_node().unwrap();
+        assert_eq!(
+            g.degree(top),
+            g.max_degree().unwrap(),
+            "the maximum identifier sits on a maximum-degree node"
+        );
+        assert_eq!(
+            profile.radius(top).unwrap(),
+            traversal::eccentricity(&g, top),
+            "the top hub pays its full eccentricity"
+        );
+        let mut selected_hubs = 0usize;
+        for v in g.nodes() {
+            if v == top {
+                continue;
+            }
+            let r = profile.radius(v).unwrap();
+            if r > 1 {
+                selected_hubs += 1;
+                assert!(
+                    r >= HUB_ADVERSARY_SEPARATION,
+                    "a selected hub never meets a larger id before the separation"
+                );
+                assert!(g.degree(v) >= 3, "only high-degree nodes pay more than radius 1");
+            }
+        }
+        // The caterpillar has spine hubs far enough apart for the greedy
+        // selection to pick more than just the top one.
+        assert!(selected_hubs >= 1, "the multi-hub selection found a second hub");
+    }
+
+    #[test]
+    fn hub_adversary_is_deterministic_and_rejects_the_empty_graph() {
+        let g = avglocal_graph::generators::complete_binary_tree(15).unwrap();
+        assert_eq!(
+            hub_adversarial_assignment(&g).unwrap(),
+            hub_adversarial_assignment(&g).unwrap()
+        );
+        assert!(hub_adversarial_assignment(&Graph::new()).is_err());
     }
 
     #[test]

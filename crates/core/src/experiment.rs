@@ -18,6 +18,36 @@
 //! a semantic requirement, not just an optimisation: the trials of a row must
 //! measure identifier randomness on one fixed graph, not mix draws of the
 //! graph itself.
+//!
+//! # Examples
+//!
+//! A two-size sweep over a hub-weighted family, reading both the scalar
+//! measure columns and the full radius distribution of a row:
+//!
+//! ```
+//! use avglocal::prelude::*;
+//!
+//! # fn main() -> Result<(), avglocal::CoreError> {
+//! let result = Sweep::on(
+//!     Problem::LargestId,
+//!     Topology::PreferentialAttachment { m: 2, seed: 7 },
+//!     vec![32, 64],
+//! )
+//! .with_policy(AssignmentPolicy::Random { base_seed: 1 })
+//! .with_trials(3)
+//! .run()?;
+//!
+//! assert_eq!(result.sizes(), vec![32, 64]);
+//! let row = &result.rows[1];
+//! assert_eq!(row.trials, 3);
+//! assert!(row.worst_case >= row.average);
+//! // The row's distribution pools all trials: 3 x 64 observations.
+//! assert_eq!(row.cdf.observations(), 3 * 64);
+//! assert_eq!(row.cdf.fraction_within(row.cdf.max_radius()), 1.0);
+//! assert!(row.cdf.quantile(500) <= row.cdf.quantile(900));
+//! # Ok(())
+//! # }
+//! ```
 
 use avglocal_analysis::Summary;
 use avglocal_graph::{
@@ -26,6 +56,7 @@ use avglocal_graph::{
 use avglocal_runtime::FrozenExecutor;
 use rayon::prelude::*;
 
+use crate::cdf::RadiusCdf;
 use crate::error::{CoreError, Result};
 use crate::measure::{ComponentMeasures, MeasureSet};
 use crate::problem::Problem;
@@ -104,6 +135,10 @@ pub struct SweepRow {
     pub edge_averaged_mean: f64,
     /// Mean (over trials) of the per-trial median radius.
     pub median: f64,
+    /// The pooled radius distribution of the row: every trial's radius
+    /// vector merged exactly (`trials x n` observations), so any quantile —
+    /// not just the scalar columns above — can be read off after the sweep.
+    pub cdf: RadiusCdf,
 }
 
 impl SweepRow {
@@ -158,6 +193,15 @@ impl SweepResult {
     #[must_use]
     pub fn median_column(&self) -> Vec<f64> {
         self.rows.iter().map(|r| r.median).collect()
+    }
+
+    /// An arbitrary quantile column, read off each row's pooled radius
+    /// distribution (`per_mille` in thousandths, `500` = median). Unlike
+    /// [`SweepResult::median_column`] — the mean of per-trial medians — this
+    /// is the quantile of the **pooled** observations of the row.
+    #[must_use]
+    pub fn quantile_column(&self, per_mille: u16) -> Vec<f64> {
+        self.rows.iter().map(|r| r.cdf.quantile(per_mille)).collect()
     }
 }
 
@@ -304,6 +348,13 @@ impl Sweep {
             }
             let averages: Vec<f64> = sets.iter().map(|s| s.node_averaged).collect();
             let average_summary = Summary::from_values(&averages);
+            // Scalar measures average over the trials; the distribution
+            // merges exactly (in trial order, for determinism by
+            // construction rather than by commutativity).
+            let mut cdf = RadiusCdf::empty();
+            for set in &sets {
+                cdf.merge(&set.cdf);
+            }
             rows.push(SweepRow {
                 topology: self.topology.clone(),
                 n,
@@ -316,6 +367,7 @@ impl Sweep {
                 edge_averaged: mean_of(&sets, |s| s.edge_averaged),
                 edge_averaged_mean: mean_of(&sets, |s| s.edge_averaged_mean),
                 median: mean_of(&sets, |s| s.median),
+                cdf,
             });
         }
         Ok(SweepResult { problem: self.problem, topology: self.topology.clone(), rows })
@@ -448,6 +500,9 @@ pub struct RandomPermutationStudy {
     pub edge_averaged_radius: Summary,
     /// Summary of the per-sample median radii.
     pub median_radius: Summary,
+    /// The pooled radius distribution over all samples
+    /// (`samples x n` observations).
+    pub cdf: RadiusCdf,
 }
 
 /// Samples `samples` uniformly random identifier permutations of a size-`n`
@@ -497,6 +552,10 @@ pub fn random_permutation_study_on(
         sets.push(result?);
     }
     let collect = |f: fn(&MeasureSet) -> f64| -> Vec<f64> { sets.iter().map(f).collect() };
+    let mut cdf = RadiusCdf::empty();
+    for set in &sets {
+        cdf.merge(&set.cdf);
+    }
     Ok(RandomPermutationStudy {
         topology: topology.clone(),
         n,
@@ -505,6 +564,7 @@ pub fn random_permutation_study_on(
         worst_case_radius: Summary::from_values(&collect(|s| s.worst_case)),
         edge_averaged_radius: Summary::from_values(&collect(|s| s.edge_averaged)),
         median_radius: Summary::from_values(&collect(|s| s.median)),
+        cdf,
     })
 }
 
@@ -703,6 +763,71 @@ mod tests {
         assert_eq!(row.total, 23.0);
         assert_eq!(result.edge_averaged_column().len(), 1);
         assert_eq!(result.median_column(), vec![1.0]);
+    }
+
+    #[test]
+    fn sweep_rows_carry_the_full_distribution() {
+        // Identity ids on the 16-cycle, one trial: 15 nodes stop at radius
+        // 1, the winner at 8 — the row's distribution is exactly that.
+        let result = Sweep::new(Problem::LargestId, vec![16])
+            .with_policy(AssignmentPolicy::Identity)
+            .run()
+            .unwrap();
+        let row = &result.rows[0];
+        assert_eq!(row.cdf.observations(), 16);
+        assert_eq!(row.cdf.count_at(1), 15);
+        assert_eq!(row.cdf.count_at(8), 1);
+        assert_eq!(row.cdf.max_radius(), 8);
+        assert!((row.cdf.fraction_within(1) - 15.0 / 16.0).abs() < 1e-12);
+        // With one trial the pooled median is bit-identical to the median
+        // column, and the pooled mean to the node average.
+        assert_eq!(row.cdf.quantile(500), row.median);
+        assert_eq!(row.cdf.mean(), row.average);
+        assert_eq!(result.quantile_column(1000), vec![8.0]);
+        // Across trials the distribution pools: trials x n observations.
+        let result = Sweep::new(Problem::LargestId, vec![16])
+            .with_policy(AssignmentPolicy::Random { base_seed: 3 })
+            .with_trials(4)
+            .run()
+            .unwrap();
+        assert_eq!(result.rows[0].cdf.observations(), 4 * 16);
+    }
+
+    #[test]
+    fn sweeps_run_on_hub_weighted_families() {
+        // Preferential attachment is always connected, so it runs in the
+        // default mode.
+        let pa = Topology::PreferentialAttachment { m: 2, seed: 7 };
+        let result = Sweep::on(Problem::LargestId, pa.clone(), vec![40])
+            .with_policy(AssignmentPolicy::Random { base_seed: 5 })
+            .with_trials(2)
+            .run()
+            .unwrap();
+        assert_eq!(result.rows[0].n, 40);
+        assert_eq!(result.rows[0].components, 1);
+        assert!(result.rows[0].worst_case >= result.rows[0].average);
+        // The power-law configuration model may disconnect; per-component
+        // mode accepts the first draw as-is.
+        let plc = Topology::PowerLawConfiguration { gamma: 2.5, seed: 3 };
+        let result = Sweep::on(Problem::LargestId, plc, vec![40])
+            .with_policy(AssignmentPolicy::Random { base_seed: 5 })
+            .with_component_mode(ComponentMode::PerComponent)
+            .run()
+            .unwrap();
+        assert_eq!(result.rows[0].n, 40);
+        assert!(result.rows[0].components >= 1);
+    }
+
+    #[test]
+    fn study_distribution_pools_all_samples() {
+        let study = random_permutation_study(Problem::LargestId, 32, 5, 11).unwrap();
+        assert_eq!(study.cdf.observations(), 5 * 32);
+        // The pooled mean is the mean of per-sample node averages (equal
+        // sample sizes), up to floating-point reassociation.
+        assert!((study.cdf.mean() - study.average_radius.mean).abs() < 1e-9);
+        // Every sample's winner saw half the ring (a diametrically placed
+        // runner-up can add a second radius-16 observation).
+        assert!(study.cdf.count_at(16) >= 5);
     }
 
     #[test]

@@ -4,6 +4,10 @@
 //! curves that would naturally accompany it — the largest-ID separation (E1)
 //! and the colouring radii versus `log* n` (E3) — as terminal-friendly ASCII
 //! charts so the shapes can be eyeballed without any plotting dependency.
+//! [`cdf_chart`] renders full radius distributions ([`crate::RadiusCdf`])
+//! the same way: one cumulative curve per family, on a shared radius axis.
+
+use crate::cdf::RadiusCdf;
 
 /// One named data series of a chart.
 #[derive(Debug, Clone, PartialEq)]
@@ -100,6 +104,31 @@ impl AsciiChart {
     }
 }
 
+/// Renders a panel of radius CDFs as an ASCII chart: one series per named
+/// distribution, x axis = radius (0 to the largest observed radius of any
+/// series), y axis = cumulative fraction of nodes that have output.
+///
+/// A curve hugging the top-left corner is a family whose ordinary node
+/// outputs almost immediately; a long flat shelf below 1.0 is the paper's
+/// separation — a small set of nodes (the winner, the hub) still running
+/// long after the rest of the network has finished.
+#[must_use]
+pub fn cdf_chart(title: &str, series: &[(String, &RadiusCdf)], height: usize) -> String {
+    let max_radius = series.iter().map(|(_, cdf)| cdf.max_radius()).max().unwrap_or(0);
+    let labels: Vec<String> = (0..=max_radius).map(|r| r.to_string()).collect();
+    let plotted: Vec<Series> = series
+        .iter()
+        .map(|(name, cdf)| {
+            // Extend every curve to the shared axis: a saturated CDF stays
+            // at 1.0 past its own maximum radius.
+            let mut values = cdf.curve();
+            values.resize(max_radius + 1, if cdf.is_empty() { 0.0 } else { 1.0 });
+            Series::new(format!("F(r) {name}"), values)
+        })
+        .collect();
+    AsciiChart::new(title, labels).with_height(height).render(&plotted)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -145,6 +174,32 @@ mod tests {
         let empty = AsciiChart::new("none", Vec::new());
         let out = empty.render(&[Series::new("s", vec![])]);
         assert!(out.contains("-- none --"));
+    }
+
+    #[test]
+    fn cdf_chart_shares_the_radius_axis() {
+        let fast = RadiusCdf::from_radii(&[1, 1, 1, 1]);
+        let slow = RadiusCdf::from_radii(&[1, 2, 3, 6]);
+        let out =
+            cdf_chart("demo CDFs", &[("fast".to_string(), &fast), ("slow".to_string(), &slow)], 8);
+        assert!(out.contains("-- demo CDFs --"));
+        assert!(out.contains("F(r) fast"));
+        assert!(out.contains("F(r) slow"));
+        // The shared x axis runs to the slow family's maximum radius.
+        assert!(out.contains('6'));
+        // The saturated fast curve sits on the top row all the way across
+        // (radii 1..=6 all at 1.0; the slow curve overdraws the last column).
+        let top_row = out.lines().nth(1).unwrap();
+        assert!(top_row.matches('*').count() >= 5);
+    }
+
+    #[test]
+    fn cdf_chart_handles_empty_panels() {
+        let out = cdf_chart("none", &[], 6);
+        assert!(out.contains("-- none --"));
+        let empty = RadiusCdf::empty();
+        let out = cdf_chart("empty", &[("e".to_string(), &empty)], 6);
+        assert!(out.contains("F(r) e"));
     }
 
     #[test]

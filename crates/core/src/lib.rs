@@ -39,9 +39,12 @@
 //! * [`Problem`] — algorithm + verifier bundles for every problem studied;
 //! * [`RadiusProfile`] / [`Measure`] / [`MeasurePair`] — per-node radii and
 //!   the two measures compared by the paper;
+//! * [`RadiusCdf`] — the full radius distribution of an experiment (exact,
+//!   mergeable ECDF with quantile/mean/tail accessors);
 //! * [`experiment`] — size sweeps over any [`graph::Topology`] (cycles,
-//!   paths, trees, grids, tori, `G(n, p)`), identifier-assignment policies,
-//!   and the random-permutation study of Section 4;
+//!   paths, trees, grids, tori, `G(n, p)`, preferential attachment,
+//!   power-law configuration), identifier-assignment policies, and the
+//!   random-permutation study of Section 4;
 //! * [`adversary`] — exhaustive and hill-climbing searches for worst-case
 //!   identifier assignments, plus the Section 3 slice construction;
 //! * [`theory`] — the paper's predicted curves (`a(n)`, `log*`, Cole–Vishkin
@@ -55,17 +58,21 @@
 #![warn(missing_debug_implementations)]
 
 pub mod adversary;
+pub mod cdf;
 mod error;
 pub mod experiment;
 pub mod figure;
-mod measure;
+pub mod measure;
 mod problem;
 mod profile;
 pub mod report;
 pub mod schedule;
 pub mod theory;
 
-pub use adversary::{section3_assignment, AdversaryResult, AdversarySearch};
+pub use adversary::{
+    hub_adversarial_assignment, section3_assignment, top_hub, AdversaryResult, AdversarySearch,
+};
+pub use cdf::RadiusCdf;
 pub use error::{CoreError, Result};
 pub use experiment::{
     cycle_with_assignment, random_permutation_study, random_permutation_study_on, run_on_cycle,
@@ -84,7 +91,10 @@ pub use avglocal_runtime as runtime;
 
 /// Everything a typical experiment needs, importable in one line.
 pub mod prelude {
-    pub use crate::adversary::{section3_assignment, AdversarySearch};
+    pub use crate::adversary::{
+        hub_adversarial_assignment, section3_assignment, top_hub, AdversarySearch,
+    };
+    pub use crate::cdf::RadiusCdf;
     pub use crate::experiment::{
         cycle_with_assignment, random_permutation_study, random_permutation_study_on, run_on_cycle,
         run_on_topology, run_on_topology_per_component, topology_with_assignment, AssignmentPolicy,

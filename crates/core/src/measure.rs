@@ -24,12 +24,43 @@
 //! hub-heavy or disconnected instances: a high-degree node counts once in
 //! the node average but `deg(v)` times in the edge average, and an isolated
 //! node dilutes only the node average (it has no edges). Both effects are
-//! exercised by E8 and the measure property tests.
+//! exercised by E8/E9 and the measure property tests.
+//!
+//! # Examples
+//!
+//! One radius vector, every measure — including the full distribution:
+//!
+//! ```
+//! use avglocal::prelude::*;
+//!
+//! # fn main() -> Result<(), avglocal::CoreError> {
+//! // A 4-cycle whose winner saw half the ring; everyone else stopped at 1.
+//! let graph = generators::cycle(4)?;
+//! let profile = RadiusProfile::new(vec![1, 1, 1, 2]);
+//! let set = MeasureSet::of(&profile, &graph);
+//!
+//! assert_eq!(set.worst_case, 2.0);
+//! assert_eq!(set.node_averaged, 1.25);
+//! assert_eq!(set.median, 1.0);
+//! // Each of the 4 edges is weighted by its slower endpoint; the winner
+//! // has two incident edges, so the edge average is (2 + 2 + 1 + 1) / 4.
+//! assert_eq!(set.edge_averaged, 1.5);
+//! // The scalar columns are all points of the retained distribution.
+//! assert_eq!(set.cdf.fraction_within(1), 0.75);
+//! assert_eq!(set.cdf.quantile(500), set.median);
+//!
+//! // Any single measure can be looked up or evaluated directly.
+//! assert_eq!(set.get(Measure::WorstCase), Some(2.0));
+//! assert_eq!(Measure::NodeAveraged.evaluate_on(&profile, &graph), 1.25);
+//! # Ok(())
+//! # }
+//! ```
 
 use std::fmt;
 
 use avglocal_graph::{ComponentLabels, CsrGraph, Graph};
 
+use crate::cdf::RadiusCdf;
 use crate::profile::RadiusProfile;
 
 /// How an edge aggregates the output radii of its two endpoints.
@@ -219,8 +250,9 @@ impl MeasurePair {
 ///
 /// This is the unit the sweep harness threads through its rows: one trial
 /// produces one `MeasureSet`, and row aggregation is a per-field mean over
-/// the trials.
-#[derive(Debug, Clone, Copy, PartialEq, Default)]
+/// the trials — except for [`MeasureSet::cdf`], which merges exactly
+/// (pooling the observations) instead of averaging.
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct MeasureSet {
     /// Number of nodes measured.
     pub nodes: usize,
@@ -238,6 +270,9 @@ pub struct MeasureSet {
     pub edge_averaged_mean: f64,
     /// The nearest-rank median radius.
     pub median: f64,
+    /// The full radius distribution of the execution — the exact ECDF every
+    /// scalar quantile above is a point of.
+    pub cdf: RadiusCdf,
 }
 
 impl MeasureSet {
@@ -264,7 +299,11 @@ impl MeasureSet {
             edge_max_sum += radii[u].max(radii[v]) as f64;
             edge_mean_sum += (radii[u] + radii[v]) as f64 / 2.0;
         }
-        let mut scratch = radii.to_vec();
+        // The distribution is folded from the same radius vector; the median
+        // column is its 500-per-mille point (the same nearest-rank
+        // definition the old selection-based median used, bit for bit).
+        let cdf = RadiusCdf::from_radii(radii);
+        let median = cdf.quantile(500);
         MeasureSet {
             nodes,
             edges: edge_count,
@@ -277,7 +316,8 @@ impl MeasureSet {
             } else {
                 edge_mean_sum / edge_count as f64
             },
-            median: nearest_rank(&mut scratch, 500),
+            median,
+            cdf,
         }
     }
 
@@ -324,8 +364,8 @@ impl MeasureSet {
         self.pair().separation()
     }
 
-    /// Looks up a [`Measure`] in this set. Quantiles other than the median
-    /// are not retained and return `None`.
+    /// Looks up a [`Measure`] in this set. Every quantile is answerable from
+    /// the retained [`MeasureSet::cdf`], not just the median.
     #[must_use]
     pub fn get(&self, measure: Measure) -> Option<f64> {
         match measure {
@@ -335,7 +375,7 @@ impl MeasureSet {
             Measure::EdgeAveraged { weight: EdgeWeight::Max } => Some(self.edge_averaged),
             Measure::EdgeAveraged { weight: EdgeWeight::Mean } => Some(self.edge_averaged_mean),
             Measure::Quantile { per_mille: 500 } => Some(self.median),
-            Measure::Quantile { .. } => None,
+            Measure::Quantile { per_mille } => Some(self.cdf.quantile(per_mille)),
         }
     }
 }
@@ -508,7 +548,11 @@ mod tests {
         for measure in Measure::ALL {
             assert_eq!(set.get(measure), Some(measure.evaluate_on(&p, &g)), "{measure}");
         }
-        assert_eq!(set.get(Measure::Quantile { per_mille: 900 }), None);
+        // Non-median quantiles are answered from the retained distribution.
+        let q9 = Measure::Quantile { per_mille: 900 };
+        assert_eq!(set.get(q9), Some(q9.evaluate_on(&p, &g)));
+        assert_eq!(set.cdf.observations(), 4);
+        assert_eq!(set.cdf.quantile(500), set.median);
     }
 
     #[test]

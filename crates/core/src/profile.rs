@@ -112,6 +112,14 @@ impl RadiusProfile {
         crate::measure::nearest_rank(&mut scratch, per_mille)
     }
 
+    /// The exact radius distribution of the profile (see
+    /// [`crate::RadiusCdf`]): every quantile and tail of the execution in
+    /// one mergeable report.
+    #[must_use]
+    pub fn cdf(&self) -> crate::RadiusCdf {
+        crate::RadiusCdf::from_radii(&self.radii)
+    }
+
     /// Fraction of nodes with radius at most `r`.
     #[must_use]
     pub fn fraction_within(&self, r: usize) -> f64 {
@@ -200,6 +208,14 @@ mod tests {
         assert_eq!(p.fraction_within(2), 0.5);
         assert_eq!(p.fraction_within(4), 1.0);
         assert_eq!(p.fraction_within(100), 1.0);
+        // The full distribution report agrees point by point.
+        let cdf = p.cdf();
+        for r in 0..=5 {
+            assert_eq!(cdf.fraction_within(r), p.fraction_within(r), "r={r}");
+        }
+        for per_mille in [0u16, 250, 500, 750, 1000] {
+            assert_eq!(cdf.quantile(per_mille), p.quantile(per_mille), "q={per_mille}");
+        }
     }
 
     #[test]

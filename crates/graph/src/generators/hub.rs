@@ -1,0 +1,264 @@
+//! Hub-weighted random families: preferential attachment and the power-law
+//! configuration model.
+//!
+//! Every connected family the sweep harness supported before this module
+//! (cycle, path, tree, grid, torus, supercritical `G(n, p)`) is near-regular,
+//! so the node- and edge-averaged measures are glued together by the
+//! bounded-degree sandwich (see `avglocal::measure`). The families here are
+//! the opposite regime: a heavy-tailed degree sequence concentrates most
+//! *edges* on a few *hubs*, which is exactly the structure under which the
+//! two averaged measures can detach while the graph stays connected.
+//!
+//! * [`preferential_attachment`] — the Barabási–Albert growth process:
+//!   always connected, exact `n`, degree tail `P(d) ~ d^-3`;
+//! * [`power_law_configuration`] — the erased configuration model over a
+//!   deterministic Zipf-like degree sequence `d_i ~ (n/i)^(1/(gamma-1))`:
+//!   heavier hubs than preferential attachment (the exponent is tunable),
+//!   but connectivity is not guaranteed, so the topology layer either
+//!   redraws or hands the instance to the per-component machinery.
+//!
+//! Both generators take an explicit `&mut impl Rng` and are deterministic
+//! given the seed, like every other random family in this crate.
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+use crate::error::{GraphError, Result};
+use crate::Graph;
+
+/// The Barabási–Albert preferential-attachment graph: a seed clique on
+/// `m + 1` nodes, then each new node attaches to `m` **distinct** existing
+/// nodes chosen with probability proportional to their current degree.
+///
+/// The construction is always connected and realises `n` exactly (when
+/// `n <= m + 1` it degenerates to the complete graph on `n` nodes). The
+/// degree distribution has the classical `P(d) ~ d^-3` tail, so old nodes
+/// become hubs holding a disproportionate share of the edges.
+///
+/// # Errors
+///
+/// Returns [`GraphError::InvalidGeneratorParameter`] when `n == 0` or
+/// `m == 0`.
+pub fn preferential_attachment<R: Rng + ?Sized>(n: usize, m: usize, rng: &mut R) -> Result<Graph> {
+    if n == 0 {
+        return Err(GraphError::InvalidGeneratorParameter {
+            reason: "preferential attachment needs at least 1 node".to_string(),
+        });
+    }
+    if m == 0 {
+        return Err(GraphError::InvalidGeneratorParameter {
+            reason: "preferential attachment needs m >= 1 edges per new node".to_string(),
+        });
+    }
+    let mut g = Graph::with_capacity(n);
+    let nodes = g.add_nodes_with_default_ids(n);
+    // Seed: the complete graph on the first min(n, m + 1) nodes.
+    let seed_size = n.min(m + 1);
+    for i in 0..seed_size {
+        for j in (i + 1)..seed_size {
+            g.add_edge(nodes[i], nodes[j])?;
+        }
+    }
+    // `targets` lists every node once per incident edge endpoint, so a
+    // uniform draw from it is exactly degree-proportional attachment.
+    let mut targets: Vec<usize> = Vec::with_capacity(2 * m * n);
+    for i in 0..seed_size {
+        for _ in 0..seed_size.saturating_sub(1) {
+            targets.push(i);
+        }
+    }
+    let mut chosen: Vec<usize> = Vec::with_capacity(m);
+    for v in seed_size..n {
+        chosen.clear();
+        // Draw m distinct targets by rejection; terminates because at least
+        // m distinct nodes already exist (v >= seed_size >= m when n > m).
+        while chosen.len() < m.min(v) {
+            let t = targets[rng.gen_range(0..targets.len())];
+            if !chosen.contains(&t) {
+                chosen.push(t);
+            }
+        }
+        for &t in &chosen {
+            g.add_edge(nodes[v], nodes[t])?;
+            targets.push(v);
+            targets.push(t);
+        }
+    }
+    Ok(g)
+}
+
+/// The deterministic Zipf-like degree sequence of the power-law
+/// configuration model: `d_i = round((n / (i + 1))^(1 / (gamma - 1)))`
+/// clamped to `[1, n - 1]`, with the total bumped to an even sum.
+///
+/// Only the stub *pairing* consumes randomness; the sequence itself is a
+/// function of `(n, gamma)`, so the hub structure of the family is stable
+/// across seeds.
+///
+/// # Errors
+///
+/// Returns [`GraphError::InvalidGeneratorParameter`] when `n == 0` or
+/// `gamma <= 1` (the Zipf exponent `1 / (gamma - 1)` must be positive and
+/// finite).
+pub fn power_law_degrees(n: usize, gamma: f64) -> Result<Vec<usize>> {
+    if n == 0 {
+        return Err(GraphError::InvalidGeneratorParameter {
+            reason: "a power-law degree sequence needs at least 1 node".to_string(),
+        });
+    }
+    if !gamma.is_finite() || gamma <= 1.0 {
+        return Err(GraphError::InvalidGeneratorParameter {
+            reason: format!("power-law exponent gamma must be finite and > 1, got {gamma}"),
+        });
+    }
+    if n == 1 {
+        return Ok(vec![0]);
+    }
+    let exponent = 1.0 / (gamma - 1.0);
+    let cap = n - 1;
+    let mut degrees: Vec<usize> = (0..n)
+        .map(|i| {
+            let raw = (n as f64 / (i + 1) as f64).powf(exponent).round() as usize;
+            raw.clamp(1, cap)
+        })
+        .collect();
+    if degrees.iter().sum::<usize>() % 2 != 0 {
+        // Bump the last (smallest-degree) node, so the hub head of the
+        // sequence is untouched.
+        degrees[n - 1] += 1;
+    }
+    Ok(degrees)
+}
+
+/// The erased configuration model over the [`power_law_degrees`] sequence:
+/// one stub per degree unit, a uniformly random perfect matching of the
+/// stubs, and self-loops / duplicate edges silently dropped ("erased").
+///
+/// Erasure makes the realised degrees a lower bound on the requested
+/// sequence (hubs lose the most — their stubs collide most often), keeps
+/// the graph simple, and can leave the instance disconnected; the topology
+/// layer either redraws until connected or runs it through the
+/// per-component machinery.
+///
+/// # Errors
+///
+/// Same parameter errors as [`power_law_degrees`].
+pub fn power_law_configuration<R: Rng + ?Sized>(
+    n: usize,
+    gamma: f64,
+    rng: &mut R,
+) -> Result<Graph> {
+    let degrees = power_law_degrees(n, gamma)?;
+    let mut stubs: Vec<usize> = Vec::with_capacity(degrees.iter().sum());
+    for (i, &d) in degrees.iter().enumerate() {
+        for _ in 0..d {
+            stubs.push(i);
+        }
+    }
+    stubs.shuffle(rng);
+    let mut g = Graph::with_capacity(n);
+    let nodes = g.add_nodes_with_default_ids(n);
+    for pair in stubs.chunks_exact(2) {
+        let (u, v) = (pair[0], pair[1]);
+        if u != v && !g.contains_edge(nodes[u], nodes[v]) {
+            g.add_edge(nodes[u], nodes[v])?;
+        }
+    }
+    Ok(g)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traversal;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn preferential_attachment_is_connected_and_exact() {
+        for &(n, m) in &[(1usize, 1usize), (2, 1), (5, 2), (40, 1), (40, 2), (40, 3), (3, 5)] {
+            let g = preferential_attachment(n, m, &mut StdRng::seed_from_u64(7)).unwrap();
+            assert_eq!(g.node_count(), n, "n={n}, m={m}");
+            assert!(traversal::is_connected(&g), "n={n}, m={m}");
+            assert!(g.has_unique_identifiers());
+        }
+    }
+
+    #[test]
+    fn preferential_attachment_edge_count_is_exact() {
+        // Seed clique C(s, 2) with s = min(n, m + 1), then m edges per later
+        // node (capped by the nodes existing at its arrival, which never
+        // binds once n > m).
+        for &(n, m) in &[(30usize, 1usize), (30, 2), (30, 4)] {
+            let g = preferential_attachment(n, m, &mut StdRng::seed_from_u64(3)).unwrap();
+            let s = n.min(m + 1);
+            assert_eq!(g.edge_count(), s * (s - 1) / 2 + (n - s) * m);
+        }
+    }
+
+    #[test]
+    fn preferential_attachment_is_reproducible() {
+        let a = preferential_attachment(64, 2, &mut StdRng::seed_from_u64(11)).unwrap();
+        let b = preferential_attachment(64, 2, &mut StdRng::seed_from_u64(11)).unwrap();
+        assert_eq!(a, b);
+        let c = preferential_attachment(64, 2, &mut StdRng::seed_from_u64(12)).unwrap();
+        assert_ne!(a, c, "different seeds should draw different attachments");
+    }
+
+    #[test]
+    fn preferential_attachment_grows_hubs() {
+        // The degree tail is heavy: the maximum degree must clearly exceed
+        // the mean (2m), i.e. the family is genuinely hub-weighted.
+        let g = preferential_attachment(256, 2, &mut StdRng::seed_from_u64(5)).unwrap();
+        let max_degree = g.max_degree().unwrap();
+        assert!(max_degree >= 12, "expected a hub, max degree {max_degree}");
+    }
+
+    #[test]
+    fn preferential_attachment_rejects_bad_parameters() {
+        let mut rng = StdRng::seed_from_u64(1);
+        assert!(preferential_attachment(0, 1, &mut rng).is_err());
+        assert!(preferential_attachment(5, 0, &mut rng).is_err());
+    }
+
+    #[test]
+    fn power_law_degrees_are_a_zipf_head_with_even_sum() {
+        let d = power_law_degrees(64, 2.5).unwrap();
+        assert_eq!(d.len(), 64);
+        assert_eq!(d.iter().sum::<usize>() % 2, 0);
+        // Monotone non-increasing head, clamped to [1, n - 1].
+        assert!(d.windows(2).take(32).all(|w| w[0] >= w[1]));
+        assert!(d.iter().all(|&x| (1..64).contains(&x)));
+        assert!(d[0] > 4 * d[32], "the head must dominate the tail");
+    }
+
+    #[test]
+    fn power_law_degrees_reject_bad_parameters() {
+        assert!(power_law_degrees(0, 2.5).is_err());
+        assert!(power_law_degrees(8, 1.0).is_err());
+        assert!(power_law_degrees(8, 0.5).is_err());
+        assert!(power_law_degrees(8, f64::NAN).is_err());
+        assert_eq!(power_law_degrees(1, 2.5).unwrap(), vec![0]);
+    }
+
+    #[test]
+    fn power_law_configuration_is_simple_and_bounded_by_the_sequence() {
+        let degrees = power_law_degrees(96, 2.2).unwrap();
+        let g = power_law_configuration(96, 2.2, &mut StdRng::seed_from_u64(9)).unwrap();
+        assert_eq!(g.node_count(), 96);
+        // Erasure only removes stubs: realised degree <= requested degree.
+        for v in g.nodes() {
+            assert!(g.degree(v) <= degrees[v.index()], "node {v}");
+        }
+        // Simplicity is structural (Graph rejects loops and duplicates), but
+        // check the counts line up anyway.
+        assert!(2 * g.edge_count() <= degrees.iter().sum::<usize>());
+    }
+
+    #[test]
+    fn power_law_configuration_is_reproducible() {
+        let a = power_law_configuration(48, 2.0, &mut StdRng::seed_from_u64(21)).unwrap();
+        let b = power_law_configuration(48, 2.0, &mut StdRng::seed_from_u64(21)).unwrap();
+        assert_eq!(a, b);
+    }
+}

@@ -12,12 +12,14 @@
 mod classic;
 mod cycle;
 mod grid;
+mod hub;
 mod random;
 mod tree;
 
 pub use classic::{complete, complete_bipartite, petersen};
 pub use cycle::{cycle, cycle_neighbors, path, ring_lattice};
 pub use grid::{grid, hypercube, torus};
+pub use hub::{power_law_configuration, power_law_degrees, preferential_attachment};
 pub use random::{erdos_renyi, gnm_random, random_tree};
 pub use tree::{balanced_tree, caterpillar, complete_binary_tree, star};
 
@@ -28,7 +30,10 @@ mod tests {
 
     #[test]
     fn all_generators_have_unique_default_identifiers() {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
         let graphs = vec![
+            preferential_attachment(12, 2, &mut StdRng::seed_from_u64(1)).unwrap(),
             cycle(5).unwrap(),
             path(5).unwrap(),
             ring_lattice(8, 4).unwrap(),

@@ -12,7 +12,8 @@
 //! * [`generators`] — cycles, paths and the other families used in
 //!   experiments;
 //! * [`Topology`] — named graph families (cycle, path, tree, grid, torus,
-//!   `G(n, p)`) that the experiment sweeps are parameterised by;
+//!   `G(n, p)`, preferential attachment, power-law configuration) that the
+//!   experiment sweeps are parameterised by;
 //! * [`Permutation`] / [`IdAssignment`] — the adversary's choice of how
 //!   identifiers are laid out on the nodes;
 //! * [`ball`] — radius-`r` balls, the unit of knowledge in the LOCAL model;

@@ -85,6 +85,30 @@ pub enum Topology {
         /// `(seed, n, attempt)`.
         seed: u64,
     },
+    /// Barabási–Albert preferential attachment: each new node attaches to
+    /// `m` distinct existing nodes with degree-proportional probability.
+    /// Always connected and exact-`n` by construction — the first
+    /// hub-weighted family, where a few old nodes hold a disproportionate
+    /// share of the edges.
+    PreferentialAttachment {
+        /// Edges added per new node (`m >= 1`).
+        m: usize,
+        /// Base seed of the family; the instance seed is derived from
+        /// `(seed, n)`.
+        seed: u64,
+    },
+    /// The erased power-law configuration model over the deterministic
+    /// Zipf-like degree sequence `d_i ~ (n / i)^(1 / (gamma - 1))`. Heavier
+    /// hubs than preferential attachment, but connectivity is not
+    /// guaranteed: connected builds redraw from derived seeds like `Gnp`,
+    /// and the per-component mode accepts the first draw as-is.
+    PowerLawConfiguration {
+        /// The power-law exponent (`gamma > 1`; smaller is hub-heavier).
+        gamma: f64,
+        /// Base seed of the family; the instance seed is derived from
+        /// `(seed, n, attempt)`.
+        seed: u64,
+    },
 }
 
 impl Topology {
@@ -117,6 +141,8 @@ impl Topology {
             Topology::Grid => "grid",
             Topology::Torus => "torus",
             Topology::Gnp { .. } => "gnp",
+            Topology::PreferentialAttachment { .. } => "pa",
+            Topology::PowerLawConfiguration { .. } => "powerlaw",
         }
     }
 
@@ -162,20 +188,26 @@ impl Topology {
                 })?;
                 generators::torus(w, h)
             }
-            Topology::Gnp { p, seed } => {
-                for attempt in 0..GNP_CONNECT_ATTEMPTS {
-                    let g = gnp_draw(n, *p, *seed, attempt)?;
-                    if traversal::is_connected(&g) {
-                        return Ok(g);
-                    }
-                }
-                Err(GraphError::Disconnected {
-                    reason: format!(
+            Topology::Gnp { p, seed } => connected_draw(
+                |attempt| gnp_draw(n, *p, *seed, attempt),
+                || {
+                    format!(
                         "G({n}, {p}) stayed disconnected for {GNP_CONNECT_ATTEMPTS} draws \
                          (seed {seed}); raise p towards the ln(n)/n connectivity threshold"
-                    ),
-                })
-            }
+                    )
+                },
+            ),
+            Topology::PreferentialAttachment { m, seed } => pa_draw(n, *m, *seed),
+            Topology::PowerLawConfiguration { gamma, seed } => connected_draw(
+                |attempt| power_law_draw(n, *gamma, *seed, attempt),
+                || {
+                    format!(
+                        "the power-law configuration model (n = {n}, gamma = {gamma}) stayed \
+                         disconnected for {GNP_CONNECT_ATTEMPTS} draws (seed {seed}); lower \
+                         gamma for heavier hubs or study it with ComponentMode::PerComponent"
+                    )
+                },
+            ),
         }
     }
 
@@ -193,7 +225,8 @@ impl Topology {
     pub fn build_unchecked(&self, n: usize) -> Result<Graph> {
         match self {
             Topology::Gnp { p, seed } => gnp_draw(n, *p, *seed, 0),
-            deterministic => deterministic.build(n),
+            Topology::PowerLawConfiguration { gamma, seed } => power_law_draw(n, *gamma, *seed, 0),
+            always_connected => always_connected.build(n),
         }
     }
 
@@ -219,6 +252,23 @@ impl Topology {
     }
 }
 
+/// Runs the shared redraw-until-connected loop of the random families:
+/// `draw(attempt)` produces draw number `attempt`, and a family that stays
+/// disconnected for [`GNP_CONNECT_ATTEMPTS`] draws is a hard
+/// [`GraphError::Disconnected`] carrying `disconnected_reason()`.
+fn connected_draw(
+    draw: impl Fn(u64) -> Result<Graph>,
+    disconnected_reason: impl FnOnce() -> String,
+) -> Result<Graph> {
+    for attempt in 0..GNP_CONNECT_ATTEMPTS {
+        let g = draw(attempt)?;
+        if traversal::is_connected(&g) {
+            return Ok(g);
+        }
+    }
+    Err(GraphError::Disconnected { reason: disconnected_reason() })
+}
+
 /// Draw number `attempt` of the `G(n, p)` family with base `seed` — the one
 /// place the per-instance seed stream is derived, shared by
 /// [`Topology::build`]'s retry loop and [`Topology::build_unchecked`].
@@ -228,10 +278,30 @@ fn gnp_draw(n: usize, p: f64, seed: u64, attempt: u64) -> Result<Graph> {
     generators::erdos_renyi(n, p, &mut rng)
 }
 
+/// The one preferential-attachment draw per `(n, seed)`: the construction is
+/// connected by design, so there is no retry stream to derive — just the
+/// per-size instance seed.
+fn pa_draw(n: usize, m: usize, seed: u64) -> Result<Graph> {
+    let mut rng = StdRng::seed_from_u64(derive_seed(seed, n as u64));
+    generators::preferential_attachment(n, m, &mut rng)
+}
+
+/// Draw number `attempt` of the power-law configuration family, mirroring
+/// [`gnp_draw`]'s seed derivation.
+fn power_law_draw(n: usize, gamma: f64, seed: u64, attempt: u64) -> Result<Graph> {
+    let stream = derive_seed(seed, n as u64);
+    let mut rng = StdRng::seed_from_u64(derive_seed(stream, attempt));
+    generators::power_law_configuration(n, gamma, &mut rng)
+}
+
 impl fmt::Display for Topology {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             Topology::Gnp { p, seed } => write!(f, "gnp(p={p}, seed={seed})"),
+            Topology::PreferentialAttachment { m, seed } => write!(f, "pa(m={m}, seed={seed})"),
+            Topology::PowerLawConfiguration { gamma, seed } => {
+                write!(f, "powerlaw(gamma={gamma}, seed={seed})")
+            }
             other => f.write_str(other.key()),
         }
     }
@@ -364,6 +434,51 @@ mod tests {
     }
 
     #[test]
+    fn preferential_attachment_builds_are_connected_and_deterministic() {
+        let topology = Topology::PreferentialAttachment { m: 2, seed: 5 };
+        let a = topology.build(48).unwrap();
+        let b = topology.build(48).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(a.node_count(), 48);
+        assert!(traversal::is_connected(&a));
+        // Always connected: both component modes hand back the same draw,
+        // and the unchecked build is the build.
+        assert_eq!(a, topology.build_unchecked(48).unwrap());
+        assert_eq!(a, topology.build_for(48, ComponentMode::PerComponent).unwrap());
+        // Different sizes draw from different derived streams.
+        assert_eq!(topology.build(20).unwrap().node_count(), 20);
+    }
+
+    #[test]
+    fn power_law_configuration_redraws_or_hands_back_the_first_draw() {
+        let topology = Topology::PowerLawConfiguration { gamma: 2.0, seed: 3 };
+        let raw = topology.build_unchecked(48).unwrap();
+        assert_eq!(raw.node_count(), 48);
+        assert_eq!(raw, topology.build_for(48, ComponentMode::PerComponent).unwrap());
+        // The connected build, when it succeeds, is connected.
+        if let Ok(g) = topology.build(48) {
+            assert!(traversal::is_connected(&g));
+            assert_eq!(g, topology.build(48).unwrap());
+        }
+        // gamma <= 1 is rejected with a parameter error, not a redraw loop.
+        let err = Topology::PowerLawConfiguration { gamma: 1.0, seed: 3 }.build(8).unwrap_err();
+        assert!(matches!(err, GraphError::InvalidGeneratorParameter { .. }));
+    }
+
+    #[test]
+    fn hub_families_are_hub_weighted() {
+        // Both new families must produce a maximum degree well above the
+        // mean — that is the point of adding them.
+        let pa = Topology::PreferentialAttachment { m: 2, seed: 7 }.build(256).unwrap();
+        let mean_degree = 2.0 * pa.edge_count() as f64 / pa.node_count() as f64;
+        assert!(pa.max_degree().unwrap() as f64 > 2.5 * mean_degree);
+        let plc =
+            Topology::PowerLawConfiguration { gamma: 2.2, seed: 7 }.build_unchecked(256).unwrap();
+        let mean_degree = 2.0 * plc.edge_count() as f64 / plc.node_count() as f64;
+        assert!(plc.max_degree().unwrap() as f64 > 2.5 * mean_degree);
+    }
+
+    #[test]
     fn single_node_gnp_is_trivially_connected() {
         let g = Topology::Gnp { p: 0.0, seed: 3 }.build(1).unwrap();
         assert_eq!(g.node_count(), 1);
@@ -374,6 +489,16 @@ mod tests {
         assert_eq!(Topology::Cycle.to_string(), "cycle");
         assert_eq!(Topology::CompleteBinaryTree.to_string(), "tree");
         assert_eq!(Topology::Gnp { p: 0.5, seed: 2 }.to_string(), "gnp(p=0.5, seed=2)");
+        assert_eq!(
+            Topology::PreferentialAttachment { m: 2, seed: 3 }.to_string(),
+            "pa(m=2, seed=3)"
+        );
+        assert_eq!(
+            Topology::PowerLawConfiguration { gamma: 2.5, seed: 4 }.to_string(),
+            "powerlaw(gamma=2.5, seed=4)"
+        );
+        assert_eq!(Topology::PreferentialAttachment { m: 2, seed: 3 }.key(), "pa");
+        assert_eq!(Topology::PowerLawConfiguration { gamma: 2.5, seed: 4 }.key(), "powerlaw");
         assert_eq!(Topology::Cycle.key(), "cycle");
         assert!(Topology::Cycle.is_cycle());
         assert!(!Topology::Grid.is_cycle());

@@ -106,4 +106,34 @@ proptest! {
         assert_grower_matches_extraction(&g);
         assert_executors_agree(&g);
     }
+
+    #[test]
+    fn grower_matches_extraction_on_preferential_attachment(
+        n in 1usize..24,
+        m in 1usize..4,
+        seed in 0u64..1000
+    ) {
+        // Hub-weighted instances stress the grower differently from the
+        // near-regular families: one frontier step at a hub pulls in a large
+        // fraction of the graph at once.
+        let mut rng = StdRng::seed_from_u64(seed);
+        let g = shuffled(generators::preferential_attachment(n, m, &mut rng).unwrap(), seed);
+        assert_grower_matches_extraction(&g);
+        assert_executors_agree(&g);
+    }
+
+    #[test]
+    fn grower_matches_extraction_on_power_law_configuration(
+        n in 1usize..20,
+        gamma_tenths in 15usize..35,
+        seed in 0u64..1000
+    ) {
+        // Configuration-model draws may be disconnected (saturation at the
+        // component) and carry extreme degree skew.
+        let gamma = gamma_tenths as f64 / 10.0;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let g = shuffled(generators::power_law_configuration(n, gamma, &mut rng).unwrap(), seed);
+        assert_grower_matches_extraction(&g);
+        assert_executors_agree(&g);
+    }
 }
