@@ -4,8 +4,9 @@
 # FrozenExecutor session reuse vs per-call freezing — the skewed scheduling
 # block — work-stealing vs static chunks on the clustered adversarial
 # assignment — the pool block — persistent pool vs spawn-per-call — and the
-# freeze block — parallel vs serial Graph::freeze) and refreshes
-# BENCH_e1.json.
+# freeze block — parallel vs serial Graph::freeze — and the snapshot block —
+# CsrGraph::to_bytes vs the validating from_bytes, with bytes/edge density)
+# and refreshes BENCH_e1.json.
 #
 # Pin the pool for reproducible timings: AVG_LOCAL_THREADS=4 ./bench.sh
 #

@@ -1,0 +1,263 @@
+//! A byte-driven structured-input shim in the style of the
+//! [`arbitrary`](https://crates.io/crates/arbitrary) crate.
+//!
+//! Fuzz-style model tests want to interpret an opaque byte buffer as a
+//! *program* — a sequence of commands with small arguments — so that any
+//! buffer, however mangled, decodes to **some** valid command sequence. This
+//! module provides the decoding side: [`Unstructured`] is a cursor over a
+//! byte slice with total (never-failing, never-panicking) primitive readers,
+//! and [`Arbitrary`] is the trait for types that know how to assemble
+//! themselves from one.
+//!
+//! Differences from the real crate, in keeping with this workspace's
+//! offline-vendored compat shims: no derive macro, no size hints, and
+//! exhaustion is handled by **zero-filling** instead of erroring — once the
+//! buffer runs out every further read returns 0, so decoding is a total
+//! deterministic function of the input bytes. Pair it with
+//! [`crate::collection::bytes`] to let a property test generate the buffers.
+
+use std::ops::Range;
+
+/// A cursor over untrusted/unstructured bytes with total primitive readers.
+///
+/// All readers are little-endian and zero-fill once the buffer is exhausted,
+/// so any byte slice decodes to a deterministic value stream — no `Result`s
+/// to thread through fuzz-target code.
+///
+/// # Examples
+///
+/// ```
+/// use proptest::arbitrary::Unstructured;
+///
+/// let mut u = Unstructured::new(&[7, 1, 0]);
+/// assert_eq!(u.byte(), 7);
+/// assert_eq!(u.int_in_range(0..5), 1);
+/// assert_eq!(u.byte(), 0);
+/// assert!(u.is_empty());
+/// assert_eq!(u.byte(), 0); // exhausted reads zero-fill
+/// ```
+#[derive(Debug)]
+pub struct Unstructured<'a> {
+    data: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Unstructured<'a> {
+    /// Wraps `data` in a fresh cursor positioned at the start.
+    #[must_use]
+    pub fn new(data: &'a [u8]) -> Self {
+        Unstructured { data, pos: 0 }
+    }
+
+    /// `true` once every input byte has been consumed.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.pos >= self.data.len()
+    }
+
+    /// Number of unconsumed bytes.
+    #[must_use]
+    pub fn remaining(&self) -> usize {
+        self.data.len().saturating_sub(self.pos)
+    }
+
+    /// Reads one byte (0 when exhausted).
+    pub fn byte(&mut self) -> u8 {
+        let b = self.data.get(self.pos).copied().unwrap_or(0);
+        self.pos = self.pos.saturating_add(1);
+        b
+    }
+
+    /// Reads `N` bytes little-endian style, zero-filling past the end.
+    fn fill<const N: usize>(&mut self) -> [u8; N] {
+        let mut buf = [0u8; N];
+        for slot in &mut buf {
+            *slot = self.byte();
+        }
+        buf
+    }
+
+    /// Reads a little-endian `u16` (zero-filled when exhausted).
+    pub fn u16(&mut self) -> u16 {
+        u16::from_le_bytes(self.fill())
+    }
+
+    /// Reads a little-endian `u32` (zero-filled when exhausted).
+    pub fn u32(&mut self) -> u32 {
+        u32::from_le_bytes(self.fill())
+    }
+
+    /// Reads a little-endian `u64` (zero-filled when exhausted).
+    pub fn u64(&mut self) -> u64 {
+        u64::from_le_bytes(self.fill())
+    }
+
+    /// Reads a value of any [`Arbitrary`] type.
+    pub fn arbitrary<T: Arbitrary>(&mut self) -> T {
+        T::arbitrary(self)
+    }
+
+    /// Draws a `u64` in `range` (returns `range.start` when the range is
+    /// empty). The draw consumes 8 bytes and reduces modulo the span, which
+    /// is plenty uniform for fuzzing purposes.
+    pub fn int_in_range(&mut self, range: Range<u64>) -> u64 {
+        let span = range.end.saturating_sub(range.start);
+        if span == 0 {
+            return range.start;
+        }
+        range.start + self.u64() % span
+    }
+
+    /// Draws an index below `len` (0 when `len == 0`).
+    pub fn choose_index(&mut self, len: usize) -> usize {
+        if len == 0 {
+            return 0;
+        }
+        (self.u64() % (len as u64)) as usize
+    }
+
+    /// Returns `true` with probability roughly `numerator / denominator`
+    /// (always `false` when `denominator == 0`).
+    pub fn ratio(&mut self, numerator: u32, denominator: u32) -> bool {
+        if denominator == 0 {
+            return false;
+        }
+        self.u32() % denominator < numerator
+    }
+
+    /// Draws a collection length, capped both by `max` and by the bytes that
+    /// remain (so exhausted input yields short collections instead of long
+    /// runs of zeros).
+    pub fn arbitrary_len(&mut self, max: usize) -> usize {
+        let cap = max.min(self.remaining());
+        if cap == 0 {
+            return 0;
+        }
+        (self.u64() % (cap as u64 + 1)) as usize
+    }
+
+    /// Consumes the cursor and returns every unread byte.
+    #[must_use]
+    pub fn take_rest(self) -> &'a [u8] {
+        &self.data[self.pos.min(self.data.len())..]
+    }
+}
+
+/// Types that can be assembled from unstructured bytes.
+///
+/// Implementations must be **total**: any cursor state yields a value, so an
+/// arbitrary byte buffer always decodes to a well-formed instance. That is
+/// the property that lets a fuzz harness feed raw bytes to a model test
+/// without a rejection path.
+pub trait Arbitrary: Sized {
+    /// Assembles a value from the cursor.
+    fn arbitrary(u: &mut Unstructured<'_>) -> Self;
+}
+
+impl Arbitrary for u8 {
+    fn arbitrary(u: &mut Unstructured<'_>) -> Self {
+        u.byte()
+    }
+}
+
+impl Arbitrary for u16 {
+    fn arbitrary(u: &mut Unstructured<'_>) -> Self {
+        u.u16()
+    }
+}
+
+impl Arbitrary for u32 {
+    fn arbitrary(u: &mut Unstructured<'_>) -> Self {
+        u.u32()
+    }
+}
+
+impl Arbitrary for u64 {
+    fn arbitrary(u: &mut Unstructured<'_>) -> Self {
+        u.u64()
+    }
+}
+
+impl Arbitrary for usize {
+    fn arbitrary(u: &mut Unstructured<'_>) -> Self {
+        u.u64() as usize
+    }
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(u: &mut Unstructured<'_>) -> Self {
+        u.byte() & 1 == 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reads_are_little_endian_and_sequential() {
+        let mut u = Unstructured::new(&[1, 0, 2, 0, 0, 0]);
+        assert_eq!(u.u16(), 1);
+        assert_eq!(u.u32(), 2);
+        assert!(u.is_empty());
+    }
+
+    #[test]
+    fn exhausted_cursor_zero_fills_forever() {
+        let mut u = Unstructured::new(&[0xff]);
+        assert_eq!(u.u32(), 0xff);
+        for _ in 0..4 {
+            assert_eq!(u.u64(), 0);
+            assert_eq!(u.byte(), 0);
+            assert!(!u.arbitrary::<bool>());
+        }
+    }
+
+    #[test]
+    fn decoding_is_deterministic() {
+        let bytes: Vec<u8> = (0..64).map(|i| (i * 37 % 251) as u8).collect();
+        let decode = |data: &[u8]| {
+            let mut u = Unstructured::new(data);
+            (0..10).map(|_| u.int_in_range(0..1000)).collect::<Vec<u64>>()
+        };
+        assert_eq!(decode(&bytes), decode(&bytes));
+    }
+
+    #[test]
+    fn int_in_range_stays_in_range() {
+        let bytes: Vec<u8> = (0..255).collect();
+        let mut u = Unstructured::new(&bytes);
+        for _ in 0..40 {
+            let x = u.int_in_range(10..17);
+            assert!((10..17).contains(&x));
+        }
+        // Empty and unit ranges are total too.
+        assert_eq!(u.int_in_range(5..5), 5);
+        assert_eq!(u.int_in_range(9..10), 9);
+    }
+
+    #[test]
+    fn choose_index_and_ratio_are_total() {
+        let mut u = Unstructured::new(&[]);
+        assert_eq!(u.choose_index(0), 0);
+        assert_eq!(u.choose_index(5), 0);
+        assert!(!u.ratio(1, 0));
+        assert!(u.ratio(1, 1));
+    }
+
+    #[test]
+    fn arbitrary_len_respects_remaining_bytes() {
+        let mut u = Unstructured::new(&[200, 0, 0, 0, 0, 0, 0, 0, 0, 0]);
+        let len = u.arbitrary_len(100);
+        assert!(len <= 10);
+        let mut empty = Unstructured::new(&[]);
+        assert_eq!(empty.arbitrary_len(100), 0);
+    }
+
+    #[test]
+    fn take_rest_returns_the_unread_tail() {
+        let mut u = Unstructured::new(&[1, 2, 3, 4]);
+        let _ = u.u16();
+        assert_eq!(u.take_rest(), &[3, 4]);
+    }
+}

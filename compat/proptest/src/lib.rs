@@ -10,8 +10,16 @@
 //! Differences from upstream: cases are sampled from a deterministic
 //! per-test-independent stream (no persisted failure file) and there is **no
 //! shrinking** — a failing case panics with its inputs printed.
+//!
+//! The [`arbitrary`] module additionally vendors a byte-driven
+//! `Arbitrary`-style shim ([`arbitrary::Unstructured`]): generate a raw byte
+//! buffer with [`collection::bytes`], then decode it into structured fuzz
+//! inputs (command sequences, codec inputs) with total, deterministic
+//! readers.
 
 #![forbid(unsafe_code)]
+
+pub mod arbitrary;
 
 use std::fmt;
 use std::ops::Range;
@@ -122,6 +130,27 @@ pub mod collection {
             (0..len).map(|_| self.element.sample(rng)).collect()
         }
     }
+
+    /// Strategy for raw byte buffers with lengths drawn from `size` — the
+    /// generation side of the [`crate::arbitrary`] fuzz shim (every byte
+    /// value 0..=255 is reachable, unlike a `Range<u8>` element strategy).
+    #[derive(Debug, Clone)]
+    pub struct BytesStrategy {
+        size: Range<usize>,
+    }
+
+    /// Generates `Vec<u8>` buffers with lengths in `size` and uniform bytes.
+    pub fn bytes(size: Range<usize>) -> BytesStrategy {
+        BytesStrategy { size }
+    }
+
+    impl Strategy for BytesStrategy {
+        type Value = Vec<u8>;
+        fn sample(&self, rng: &mut TestRng) -> Vec<u8> {
+            let len = rng.gen_range(self.size.clone());
+            (0..len).map(|_| rng.gen_range(0u64..256) as u8).collect()
+        }
+    }
 }
 
 /// Builds the deterministic RNG for a named property.
@@ -140,6 +169,7 @@ pub fn rng_for(test_path: &str) -> TestRng {
 
 /// Everything a property test needs, importable in one line.
 pub mod prelude {
+    pub use crate::arbitrary::{Arbitrary, Unstructured};
     pub use crate::collection;
     pub use crate::{
         prop_assert, prop_assert_eq, prop_assert_ne, proptest, ProptestConfig, Strategy,
@@ -297,6 +327,14 @@ mod tests {
         fn vec_strategy_respects_length(values in collection::vec(0.0f64..1e6, 1..20)) {
             prop_assert!(!values.is_empty() && values.len() < 20);
             prop_assert!(values.iter().all(|v| (0.0..1e6).contains(v)));
+        }
+
+        #[test]
+        fn bytes_strategy_respects_length_and_feeds_the_cursor(buf in collection::bytes(0..64)) {
+            prop_assert!(buf.len() < 64);
+            let mut u = crate::arbitrary::Unstructured::new(&buf);
+            let x = u.int_in_range(0..10);
+            prop_assert!(x < 10);
         }
     }
 

@@ -1,0 +1,211 @@
+//! Test-only fault injection for the worker pool.
+//!
+//! Robustness claims about the pool — "a panic storm does not kill the
+//! process", "the first panic in index order is the one re-thrown", "a
+//! session is still usable after a poisoned run" — need a way to *make*
+//! workers fail on demand. This module is that switchboard: a test arms a
+//! [`Plan`] (panic and/or delay injection, counted per claimed worker
+//! chunk), the pool consults it at every chunk claim, and the test disarms
+//! it again when done.
+//!
+//! # Scoping
+//!
+//! Plans are **thread-local to the publishing thread** and are captured into
+//! a job when the job is published. That means a test arming failpoints
+//! perturbs only the parallel calls *it* issues — concurrently running tests
+//! in the same process (cargo's default) are untouched, even though the
+//! injected panics and delays fire on shared pool workers.
+//!
+//! A process-wide default can be supplied through the `AVG_LOCAL_FAILPOINTS`
+//! environment variable (read once, at first capture), using
+//! comma-separated `key=value` pairs: `panic_every=N`, `delay_every=N`,
+//! `delay_micros=M`. Example: `AVG_LOCAL_FAILPOINTS=delay_every=3,delay_micros=50`
+//! makes every third claimed chunk (of every job in the process) sleep 50µs
+//! before running — a cheap way to shake out interleaving assumptions under
+//! a whole test binary.
+//!
+//! # Example
+//!
+//! ```
+//! use rayon::prelude::*;
+//!
+//! rayon::failpoints::arm(rayon::failpoints::Plan::new().delay_every(2, 10));
+//! let doubled: Vec<usize> = (0..100).into_par_iter().map(|x| x * 2).collect();
+//! rayon::failpoints::disarm();
+//! assert_eq!(doubled[7], 14); // delays never change results
+//! ```
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
+use std::time::Duration;
+
+/// Environment variable supplying a process-wide default [`Plan`].
+pub const FAILPOINTS_ENV: &str = "AVG_LOCAL_FAILPOINTS";
+
+/// An injection plan: which claimed chunks panic and/or stall.
+///
+/// Counters are per job, starting at 1 for the first claimed chunk; a
+/// setting of `0` (the default) disables that injection.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Plan {
+    /// Panic on every `panic_every`-th claimed chunk (0 = never).
+    pub panic_every: u64,
+    /// Sleep on every `delay_every`-th claimed chunk (0 = never).
+    pub delay_every: u64,
+    /// Sleep duration for delay injection, in microseconds.
+    pub delay_micros: u64,
+}
+
+impl Plan {
+    /// An inert plan (no injection).
+    #[must_use]
+    pub fn new() -> Self {
+        Plan::default()
+    }
+
+    /// Panics on every `every`-th claimed chunk.
+    #[must_use]
+    pub fn panic_every(mut self, every: u64) -> Self {
+        self.panic_every = every;
+        self
+    }
+
+    /// Sleeps `micros` microseconds on every `every`-th claimed chunk.
+    #[must_use]
+    pub fn delay_every(mut self, every: u64, micros: u64) -> Self {
+        self.delay_every = every;
+        self.delay_micros = micros;
+        self
+    }
+
+    /// `true` when the plan injects anything at all.
+    #[must_use]
+    pub fn is_active(&self) -> bool {
+        self.panic_every > 0 || self.delay_every > 0
+    }
+}
+
+thread_local! {
+    /// The plan armed on this thread, captured by jobs it publishes.
+    static ARMED: Cell<Plan> = const { Cell::new(Plan { panic_every: 0, delay_every: 0, delay_micros: 0 }) };
+}
+
+/// Arms `plan` for every parallel call subsequently published **by this
+/// thread**, until [`disarm`] (or a later `arm`) replaces it.
+pub fn arm(plan: Plan) {
+    ARMED.with(|cell| cell.set(plan));
+}
+
+/// Removes this thread's armed plan.
+pub fn disarm() {
+    ARMED.with(|cell| cell.set(Plan::default()));
+}
+
+/// The process-wide default plan from [`FAILPOINTS_ENV`], parsed once.
+fn env_default() -> Plan {
+    static DEFAULT: OnceLock<Plan> = OnceLock::new();
+    *DEFAULT.get_or_init(|| {
+        let Ok(spec) = std::env::var(FAILPOINTS_ENV) else {
+            return Plan::default();
+        };
+        let mut plan = Plan::default();
+        for pair in spec.split(',') {
+            let Some((key, value)) = pair.split_once('=') else { continue };
+            let Ok(value) = value.trim().parse::<u64>() else { continue };
+            match key.trim() {
+                "panic_every" => plan.panic_every = value,
+                "delay_every" => plan.delay_every = value,
+                "delay_micros" => plan.delay_micros = value,
+                _ => {}
+            }
+        }
+        plan
+    })
+}
+
+/// The failpoint state of one published job: the plan captured at publish
+/// time plus a per-job chunk counter shared by every participant.
+#[derive(Debug)]
+pub(crate) struct JobFailpoints {
+    plan: Plan,
+    chunks: AtomicU64,
+}
+
+impl JobFailpoints {
+    /// Captures the publishing thread's armed plan (falling back to the
+    /// environment default) into a fresh per-job state.
+    pub(crate) fn capture() -> Self {
+        let armed = ARMED.with(Cell::get);
+        let plan = if armed.is_active() { armed } else { env_default() };
+        JobFailpoints { plan, chunks: AtomicU64::new(0) }
+    }
+
+    /// Called by a participant at every chunk claim; sleeps and/or panics
+    /// according to the captured plan. Panics raised here unwind through the
+    /// pool's regular per-chunk `catch_unwind`, so they exercise exactly the
+    /// path a panicking work item takes.
+    pub(crate) fn before_chunk(&self) {
+        if !self.plan.is_active() {
+            return;
+        }
+        let count = self.chunks.fetch_add(1, Ordering::Relaxed) + 1;
+        if self.plan.delay_every > 0 && count.is_multiple_of(self.plan.delay_every) {
+            std::thread::sleep(Duration::from_micros(self.plan.delay_micros));
+        }
+        if self.plan.panic_every > 0 && count.is_multiple_of(self.plan.panic_every) {
+            panic!("injected failpoint panic (chunk claim #{count})");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plans_default_inert_and_compose() {
+        assert!(!Plan::new().is_active());
+        let plan = Plan::new().panic_every(3).delay_every(2, 100);
+        assert!(plan.is_active());
+        assert_eq!(plan, Plan { panic_every: 3, delay_every: 2, delay_micros: 100 });
+    }
+
+    #[test]
+    fn capture_snapshots_the_armed_plan() {
+        arm(Plan::new().panic_every(5));
+        let job = JobFailpoints::capture();
+        disarm();
+        assert_eq!(job.plan.panic_every, 5);
+        // Disarming after capture does not defuse the captured job…
+        let later = JobFailpoints::capture();
+        // …while new captures see the disarmed state (or the env default,
+        // absent in the test environment unless set by the harness).
+        if std::env::var(FAILPOINTS_ENV).is_err() {
+            assert!(!later.plan.is_active());
+        }
+    }
+
+    #[test]
+    fn before_chunk_counts_and_panics_on_schedule() {
+        let job = JobFailpoints { plan: Plan::new().panic_every(3), chunks: AtomicU64::new(0) };
+        job.before_chunk();
+        job.before_chunk();
+        let caught = std::panic::catch_unwind(|| job.before_chunk());
+        assert!(caught.is_err());
+        let message = *caught
+            .unwrap_err()
+            .downcast::<String>()
+            .expect("injected panics carry a String payload");
+        assert!(message.contains("injected failpoint panic"), "{message}");
+    }
+
+    #[test]
+    fn inactive_plans_never_touch_the_counter() {
+        let job = JobFailpoints { plan: Plan::default(), chunks: AtomicU64::new(0) };
+        for _ in 0..10 {
+            job.before_chunk();
+        }
+        assert_eq!(job.chunks.load(Ordering::Relaxed), 0);
+    }
+}

@@ -29,6 +29,7 @@
 
 #![deny(unsafe_op_in_unsafe_fn)]
 
+pub mod failpoints;
 pub mod pool;
 
 use std::mem::ManuallyDrop;
@@ -465,6 +466,51 @@ mod tests {
             let v: Vec<usize> = (0..100).into_par_iter().map(|i| i + 1).collect();
             assert_eq!(v[99], 100);
         }
+    }
+
+    #[test]
+    fn lowest_index_panic_wins_deterministically() {
+        // Several items panic with index-carrying payloads; whatever the
+        // chunk interleaving, the payload re-thrown on the caller must be
+        // the one of the smallest panicking index.
+        for round in 0..8 {
+            let payload = std::panic::catch_unwind(|| {
+                let _: Vec<usize> = (0..512)
+                    .into_par_iter()
+                    .map(|i| if i % 97 == 19 { panic!("boom at {i}") } else { i })
+                    .collect();
+            })
+            .unwrap_err();
+            let message = payload.downcast::<String>().expect("panic payload is a String");
+            assert_eq!(*message, "boom at 19", "round {round}");
+        }
+    }
+
+    #[test]
+    fn injected_panic_storm_leaves_the_pool_usable() {
+        // Panic on every claimed chunk of the armed jobs — a storm, not a
+        // single fault — and the pool must keep answering afterwards.
+        crate::failpoints::arm(crate::failpoints::Plan::new().panic_every(1));
+        for _ in 0..3 {
+            let attempt = std::panic::catch_unwind(|| {
+                let _: Vec<usize> = (0..256).into_par_iter().map(|i| 512 - i).collect();
+            });
+            assert!(attempt.is_err(), "the injected storm must surface");
+        }
+        crate::failpoints::disarm();
+        let v: Vec<usize> = (0..256).into_par_iter().map(|i| i * 2).collect();
+        assert_eq!(v[255], 510);
+    }
+
+    #[test]
+    fn injected_delays_never_change_results() {
+        crate::failpoints::arm(crate::failpoints::Plan::new().delay_every(2, 200));
+        let delayed: Vec<u64> =
+            (0..1024).into_par_iter().map(|i| (i as u64).wrapping_mul(0x9e37_79b9)).collect();
+        crate::failpoints::disarm();
+        let plain: Vec<u64> =
+            (0..1024).into_par_iter().map(|i| (i as u64).wrapping_mul(0x9e37_79b9)).collect();
+        assert_eq!(delayed, plain);
     }
 
     #[test]

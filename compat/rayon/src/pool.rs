@@ -45,11 +45,23 @@
 //! * the caller returns only once every index is completed **and**
 //!   `inside == 0`, i.e. after the last worker has left the job.
 //!
-//! A panicking work item is caught, recorded, and re-thrown on the caller;
-//! remaining chunks are skipped (claimed and counted without running). The
-//! pool threads themselves never unwind. On the panic path the already
-//! produced outputs (and, for vector sources, unconsumed items) are leaked
-//! rather than dropped — a deliberate simplification over upstream rayon.
+//! # Panics
+//!
+//! A panicking work item is caught and recorded per chunk; the remaining
+//! chunks still run to completion, and the panic whose item index is
+//! **smallest** is the one re-thrown on the caller. For a deterministic work
+//! closure this makes the propagated payload deterministic — the same
+//! first-in-index-order panic no matter how the pool interleaved the chunks
+//! or how many participants it has — at the price of finishing the job on
+//! the (rare) panic path instead of aborting it early. The pool threads
+//! themselves never unwind and survive arbitrarily many panicking jobs. On
+//! the panic path the already produced outputs (and, for vector sources,
+//! unconsumed items) are leaked rather than dropped — a deliberate
+//! simplification over upstream rayon.
+//!
+//! Fault-injection hooks (see [`crate::failpoints`]) fire at every chunk
+//! claim inside the same `catch_unwind` as the work items, so injected
+//! panic storms exercise exactly the recovery path above.
 
 use std::any::Any;
 use std::cell::{Cell, UnsafeCell};
@@ -57,6 +69,8 @@ use std::mem::{ManuallyDrop, MaybeUninit};
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Condvar, Mutex, OnceLock};
+
+use crate::failpoints::JobFailpoints;
 
 /// Environment variable pinning the pool size (total participants, counting
 /// the calling thread). Read once, at first use of the pool; values that do
@@ -204,12 +218,14 @@ fn worker_loop(shared: &'static Shared, index: usize) {
 /// Completion bookkeeping of a job, all under one mutex so the final
 /// notification cannot race the caller's teardown of the job.
 struct JobStatus {
-    /// Indices whose processing (or panic-skip) has finished.
+    /// Indices whose processing has finished (panicking chunks count in
+    /// full: their unprocessed tail can never be claimed again).
     completed: usize,
     /// Workers currently registered with the job.
     inside: usize,
-    /// First captured panic payload, re-thrown by the caller.
-    panic: Option<Box<dyn Any + Send + 'static>>,
+    /// The captured panic with the smallest item index, re-thrown by the
+    /// caller — deterministic for deterministic work closures.
+    panic: Option<(usize, Box<dyn Any + Send + 'static>)>,
 }
 
 /// A dynamic chunk job over the index space `0..len`: the cursor hands out
@@ -219,9 +235,9 @@ struct ChunkJob<S, R, G, F> {
     len: usize,
     chunk: usize,
     cursor: AtomicUsize,
-    /// Set when a work item panicked: remaining chunks are claimed and
-    /// counted without running.
-    panicked: AtomicBool,
+    /// Fault-injection plan captured from the publishing thread, consulted
+    /// at every chunk claim (inert unless a test armed it).
+    failpoints: JobFailpoints,
     /// Base of `len` pre-allocated output slots, written by claimed index.
     outputs: *const UnsafeCell<MaybeUninit<R>>,
     /// Base of one state slot per possible participant index.
@@ -252,26 +268,37 @@ where
                 break;
             }
             let end = (start + self.chunk).min(self.len);
-            let outcome = if self.panicked.load(Ordering::Relaxed) {
-                Ok(())
-            } else {
-                catch_unwind(AssertUnwindSafe(|| {
-                    // SAFETY: only this participant touches slot `index`,
-                    // and every claimed output index is written exactly once.
-                    let slot = unsafe { &mut *(*self.states.add(index)).get() };
-                    let state = slot.get_or_insert_with(|| unsafe { (*self.init)() });
-                    for i in start..end {
-                        let value = unsafe { (*self.work)(state, i) };
-                        unsafe { (*self.outputs.add(i)).get().write(MaybeUninit::new(value)) };
-                    }
-                }))
-            };
+            // Tracks how far into the chunk the work got, so a panic can be
+            // attributed to the exact item that raised it (injected chunk
+            // failpoints attribute to the chunk's first item).
+            let done_in_chunk = Cell::new(0usize);
+            let outcome = catch_unwind(AssertUnwindSafe(|| {
+                self.failpoints.before_chunk();
+                // SAFETY: only this participant touches slot `index`,
+                // and every claimed output index is written exactly once.
+                let slot = unsafe { &mut *(*self.states.add(index)).get() };
+                let state = slot.get_or_insert_with(|| unsafe { (*self.init)() });
+                for i in start..end {
+                    let value = unsafe { (*self.work)(state, i) };
+                    unsafe { (*self.outputs.add(i)).get().write(MaybeUninit::new(value)) };
+                    done_in_chunk.set(done_in_chunk.get() + 1);
+                }
+            }));
             let mut status = self.sync.lock().expect("job status poisoned");
             status.completed += end - start;
             if let Err(payload) = outcome {
-                self.panicked.store(true, Ordering::Relaxed);
-                if status.panic.is_none() {
-                    status.panic = Some(payload);
+                // Keep the panic with the smallest item index. Remaining
+                // chunks keep running (no early abort), so for work closures
+                // that panic deterministically per index the smallest
+                // panicking index always runs — and wins — regardless of
+                // chunk interleaving.
+                let at = start + done_in_chunk.get();
+                let replace = match &status.panic {
+                    None => true,
+                    Some((recorded, _)) => at < *recorded,
+                };
+                if replace {
+                    status.panic = Some((at, payload));
                 }
             }
             if status.completed == self.len {
@@ -329,7 +356,8 @@ fn chunk_size(len: usize, threads: usize) -> usize {
 ///
 /// # Panics
 ///
-/// Re-throws the first panic raised by `init` or `work`; the pool survives.
+/// Re-throws the recorded panic with the smallest item index among those
+/// raised by `init` or `work` (see the module docs); the pool survives.
 pub(crate) fn run_chunked<S, R, G, F>(len: usize, init: G, work: F) -> Vec<R>
 where
     S: Send,
@@ -341,9 +369,22 @@ where
         return Vec::new();
     }
     let shared = shared();
+    let failpoints = JobFailpoints::capture();
     if shared.threads == 1 || len == 1 {
+        // Inline execution still honours the failpoint plan, batched at the
+        // same chunk granularity the pool would use, so the 1-thread CI leg
+        // exercises injected faults too (panics propagate directly to the
+        // caller here — there is no pool to survive).
+        let chunk = chunk_size(len, 1);
         let mut state = init();
-        return (0..len).map(|i| work(&mut state, i)).collect();
+        return (0..len)
+            .map(|i| {
+                if i % chunk == 0 {
+                    failpoints.before_chunk();
+                }
+                work(&mut state, i)
+            })
+            .collect();
     }
 
     let outputs: Vec<UnsafeCell<MaybeUninit<R>>> =
@@ -354,7 +395,7 @@ where
         len,
         chunk: chunk_size(len, shared.threads),
         cursor: AtomicUsize::new(0),
-        panicked: AtomicBool::new(false),
+        failpoints,
         outputs: outputs.as_ptr(),
         states: states.as_ptr(),
         init: &init,
@@ -389,7 +430,7 @@ where
     }
     let panic = status.panic.take();
     drop(status);
-    if let Some(payload) = panic {
+    if let Some((_at, payload)) = panic {
         // `outputs` frees its buffer without dropping the written `R`s —
         // the panic path leaks results instead of tracking which slots are
         // initialised.
@@ -532,6 +573,14 @@ pub mod baseline {
     /// spawn per parallel call) and the executor's static index chunks (an
     /// expensive item serialises its whole batch behind it), so benches can
     /// quantify what the persistent pool and dynamic chunking buy.
+    ///
+    /// # Panics
+    ///
+    /// Like the pool proper, a panicking work item does not abort the other
+    /// batches, and the payload re-thrown is the panic of the **lowest item
+    /// index** (batches are contiguous and ascending, and a batch's own
+    /// panic is always its smallest panicking index), so panic propagation
+    /// is deterministic here too.
     pub fn static_chunked<S, R, G, F>(len: usize, batches: usize, init: G, work: F) -> Vec<R>
     where
         S: Send,
@@ -547,7 +596,7 @@ pub mod baseline {
         let batch_len = len.div_ceil(batches);
         let ranges: Vec<std::ops::Range<usize>> =
             (0..len).step_by(batch_len).map(|start| start..(start + batch_len).min(len)).collect();
-        let mut per_batch: Vec<Vec<R>> = std::thread::scope(|scope| {
+        let per_batch: Vec<std::thread::Result<Vec<R>>> = std::thread::scope(|scope| {
             let handles: Vec<_> = ranges
                 .into_iter()
                 .map(|range| {
@@ -559,14 +608,16 @@ pub mod baseline {
                     })
                 })
                 .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("static baseline worker panicked"))
-                .collect()
+            handles.into_iter().map(std::thread::ScopedJoinHandle::join).collect()
         });
         let mut out = Vec::with_capacity(len);
-        for batch in &mut per_batch {
-            out.append(batch);
+        for batch in per_batch {
+            match batch {
+                Ok(mut values) => out.append(&mut values),
+                // First panicking batch in index order wins; its payload is
+                // the batch's smallest panicking index.
+                Err(payload) => std::panic::resume_unwind(payload),
+            }
         }
         out
     }

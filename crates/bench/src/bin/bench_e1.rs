@@ -44,6 +44,7 @@ use std::time::Instant;
 
 use avglocal::algorithms::LargestId;
 use avglocal::analysis::recurrence::clustered_adversarial_arrangement;
+use avglocal::graph::CsrGraph;
 use avglocal::prelude::*;
 use avglocal::runtime::{BallExecution, BallExecutor, FrozenExecutor, Knowledge, Scheduling};
 
@@ -92,6 +93,15 @@ struct HubRow {
     edge_node_ratio: f64,
     assignment_ms: f64,
     sweep_ms: f64,
+}
+
+struct SnapshotRow {
+    n: usize,
+    edges: usize,
+    bytes: usize,
+    bytes_per_edge: f64,
+    encode_ms: f64,
+    decode_ms: f64,
 }
 
 /// One regression gate of the `--check` suite: the measured speedup of a
@@ -361,6 +371,48 @@ fn main() -> ExitCode {
         freeze_rows.push(FreezeRow { n, edges: serial.edge_count(), serial_ms, parallel_ms });
     }
 
+    // The snapshot datapoint: the versioned binary codec around `CsrGraph`
+    // (`to_bytes` / validating `from_bytes`). Decoding re-establishes every
+    // structural invariant from untrusted bytes (checksum, offsets, symmetry,
+    // component relabelling), so its throughput is the price of the trust
+    // boundary; the bytes-per-edge density is a deterministic property of the
+    // format and is gated exactly.
+    println!("\nE1 snapshot codec: encode vs validating decode, cycle instances");
+    println!(
+        "{:>8} {:>8} {:>10} {:>11} {:>11} {:>11} {:>12}",
+        "n", "edges", "bytes", "bytes/edge", "encode ms", "decode ms", "decode MB/s"
+    );
+    let mut snapshot_rows = Vec::new();
+    for &n in freeze_sizes {
+        let graph = cycle_with_assignment(n, &IdAssignment::Identity)
+            .expect("cycles of the benchmarked sizes are valid");
+        let csr = graph.freeze();
+        let (bytes, encode_ms) = measure_ms(|| csr.to_bytes());
+        let (decoded, decode_ms) =
+            measure_ms(|| CsrGraph::from_bytes(&bytes).expect("own snapshots decode cleanly"));
+        assert_eq!(decoded, csr, "snapshot round trip diverged at n={n}");
+        assert_eq!(decoded.components(), csr.components(), "labels diverged at n={n}");
+        let bytes_per_edge = bytes.len() as f64 / csr.edge_count() as f64;
+        println!(
+            "{:>8} {:>8} {:>10} {:>11.1} {:>11.3} {:>11.3} {:>12.1}",
+            n,
+            csr.edge_count(),
+            bytes.len(),
+            bytes_per_edge,
+            encode_ms,
+            decode_ms,
+            bytes.len() as f64 / decode_ms / 1e3
+        );
+        snapshot_rows.push(SnapshotRow {
+            n,
+            edges: csr.edge_count(),
+            bytes: bytes.len(),
+            bytes_per_edge,
+            encode_ms,
+            decode_ms,
+        });
+    }
+
     // The hub datapoint: the E9 acceptance configuration — the hub
     // adversary on the committed preferential-attachment tree — timed
     // through the sweep harness, with the measured edge/node detachment
@@ -500,6 +552,29 @@ fn main() -> ExitCode {
             if i + 1 == freeze_rows.len() { "" } else { "," }
         );
     }
+    json.push_str("    ]\n  },\n  \"snapshot\": {\n");
+    json.push_str(
+        "    \"description\": \"versioned binary CsrGraph snapshots: to_bytes vs the validating \
+         from_bytes (checksum, offsets, endpoint bounds, symmetry, canonical component \
+         relabelling re-established from untrusted bytes); round trips bit-identical by \
+         assertion\",\n",
+    );
+    let _ = writeln!(json, "    \"threads\": {threads},");
+    json.push_str("    \"rows\": [\n");
+    for (i, row) in snapshot_rows.iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "      {{\"n\": {}, \"edges\": {}, \"bytes\": {}, \"bytes_per_edge\": {:.1}, \"encode_ms\": {:.3}, \"decode_ms\": {:.3}, \"decode_mb_s\": {:.1}}}{}",
+            row.n,
+            row.edges,
+            row.bytes,
+            row.bytes_per_edge,
+            row.encode_ms,
+            row.decode_ms,
+            row.bytes as f64 / row.decode_ms / 1e3,
+            if i + 1 == snapshot_rows.len() { "" } else { "," }
+        );
+    }
     json.push_str("    ]\n  },\n  \"hub\": {\n");
     json.push_str(
         "    \"description\": \"E9 hub detachment: the hub adversary on the committed \
@@ -574,6 +649,23 @@ fn main() -> ExitCode {
             strong_separation,
             1.15,
             0.25,
+        ));
+    }
+    // The snapshot gates: format density is a deterministic property of the
+    // byte layout (a cycle costs ~24 bytes/edge in version 1), so it gates
+    // exactly everywhere; the validating-decode throughput is machine time
+    // and gates at a relaxed sanity bound that still catches an accidental
+    // quadratic slip in the validators.
+    if let Some(last) = snapshot_rows.last() {
+        gates.push(Gate::full(
+            "snapshot: format density (40 bytes/edge budget)",
+            40.0 / last.bytes_per_edge,
+            1.0,
+        ));
+        gates.push(Gate::full(
+            "snapshot: validating decode vs encode (50x budget)",
+            50.0 * last.encode_ms / last.decode_ms,
+            1.0,
         ));
     }
     // The hub gate is deterministic (fixed family seed + fixed assignment),

@@ -198,6 +198,27 @@ impl CsrGraph {
         }
     }
 
+    /// Assembles a snapshot from arrays that have already been validated.
+    ///
+    /// Only the snapshot decoder ([`crate::snapshot`]) calls this, after
+    /// checking every structural invariant (monotone offsets, endpoint
+    /// bounds, symmetry, label consistency); the arrays are trusted here.
+    pub(crate) fn from_validated_parts(
+        offsets: Vec<u32>,
+        targets: Vec<u32>,
+        components: ComponentLabels,
+        identifiers: Vec<Identifier>,
+    ) -> Self {
+        debug_assert_eq!(offsets.len(), identifiers.len() + 1);
+        debug_assert_eq!(components.node_count() + 1, offsets.len());
+        CsrGraph {
+            offsets: offsets.into(),
+            targets: targets.into(),
+            components: Arc::new(components),
+            identifiers,
+        }
+    }
+
     /// Number of nodes.
     #[must_use]
     pub fn node_count(&self) -> usize {
@@ -283,15 +304,35 @@ impl CsrGraph {
     /// # Panics
     ///
     /// Panics when `identifiers` does not provide exactly one identifier per
-    /// node.
+    /// node. Callers handling untrusted table lengths should use
+    /// [`CsrGraph::try_set_identifiers`] instead.
     pub fn set_identifiers(&mut self, identifiers: &[Identifier]) {
-        assert_eq!(
+        assert!(
+            self.try_set_identifiers(identifiers).is_ok(),
+            "identifier table must cover every node exactly once ({} identifiers for {} nodes)",
             identifiers.len(),
-            self.node_count(),
-            "identifier table must cover every node exactly once"
+            self.node_count()
         );
+    }
+
+    /// Fallible counterpart of [`CsrGraph::set_identifiers`] for untrusted
+    /// table lengths.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::GraphError::AssignmentLengthMismatch`] (leaving the
+    /// snapshot unchanged) when `identifiers` does not provide exactly one
+    /// identifier per node.
+    pub fn try_set_identifiers(&mut self, identifiers: &[Identifier]) -> crate::Result<()> {
+        if identifiers.len() != self.node_count() {
+            return Err(crate::GraphError::AssignmentLengthMismatch {
+                provided: identifiers.len(),
+                expected: self.node_count(),
+            });
+        }
         self.identifiers.clear();
         self.identifiers.extend_from_slice(identifiers);
+        Ok(())
     }
 }
 
@@ -426,6 +467,21 @@ mod tests {
     fn set_identifiers_rejects_wrong_length() {
         let mut csr = generators::cycle(4).unwrap().freeze();
         csr.set_identifiers(&[Identifier::new(0)]);
+    }
+
+    #[test]
+    fn try_set_identifiers_reports_wrong_length_and_leaves_table_intact() {
+        let mut csr = generators::cycle(4).unwrap().freeze();
+        let before: Vec<Identifier> = csr.identifiers().to_vec();
+        let err = csr.try_set_identifiers(&[Identifier::new(9)]).unwrap_err();
+        assert!(matches!(
+            err,
+            crate::GraphError::AssignmentLengthMismatch { provided: 1, expected: 4 }
+        ));
+        assert_eq!(csr.identifiers(), before.as_slice());
+        let reversed: Vec<Identifier> = (0..4).rev().map(Identifier::new).collect();
+        csr.try_set_identifiers(&reversed).unwrap();
+        assert_eq!(csr.identifiers(), reversed.as_slice());
     }
 
     #[test]

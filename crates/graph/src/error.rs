@@ -6,6 +6,11 @@ use std::fmt;
 use crate::NodeId;
 
 /// Errors produced while building or mutating a [`crate::Graph`].
+///
+/// The enum is `#[non_exhaustive]`: new variants may be added in later
+/// versions as more trust boundaries gain typed validation (most recently
+/// [`GraphError::CorruptSnapshot`] and [`GraphError::MalformedLine`]), so
+/// downstream matches must keep a wildcard arm.
 #[derive(Debug, Clone, PartialEq, Eq)]
 #[non_exhaustive]
 pub enum GraphError {
@@ -52,6 +57,34 @@ pub enum GraphError {
         /// Human-readable description of the failed construction.
         reason: String,
     },
+    /// A binary snapshot (see [`crate::snapshot`]) failed validation.
+    ///
+    /// Snapshot bytes are treated as untrusted: every structural invariant
+    /// (header magic and version, payload checksum, monotone offsets,
+    /// endpoint bounds, adjacency symmetry, component-label consistency) is
+    /// checked during decode, and any violation is reported through this
+    /// variant instead of a panic.
+    CorruptSnapshot {
+        /// Byte offset of the region in which validation failed (best
+        /// effort; `0` when the failure is not tied to one region, such as a
+        /// checksum mismatch).
+        offset: usize,
+        /// Human-readable description of the violated invariant.
+        reason: String,
+    },
+    /// A line of an edge-list document (see [`crate::io::from_edge_list`])
+    /// could not be parsed.
+    ///
+    /// Carries the 1-based line number so callers can point at the offending
+    /// input line; errors that only surface once the whole document is
+    /// assembled (duplicate identifiers, unknown edge endpoints) are still
+    /// reported through their own variants without a line number.
+    MalformedLine {
+        /// 1-based line number of the offending line.
+        line: usize,
+        /// Human-readable description of what is wrong with the line.
+        reason: String,
+    },
 }
 
 impl fmt::Display for GraphError {
@@ -80,6 +113,12 @@ impl fmt::Display for GraphError {
             }
             GraphError::Disconnected { reason } => {
                 write!(f, "graph is disconnected: {reason}")
+            }
+            GraphError::CorruptSnapshot { offset, reason } => {
+                write!(f, "corrupt snapshot at byte offset {offset}: {reason}")
+            }
+            GraphError::MalformedLine { line, reason } => {
+                write!(f, "line {line}: {reason}")
             }
         }
     }
@@ -118,6 +157,14 @@ mod tests {
 
         let e = GraphError::Disconnected { reason: "every G(8, 0) draw fell apart".into() };
         assert!(e.to_string().contains("disconnected"));
+
+        let e = GraphError::CorruptSnapshot { offset: 24, reason: "offsets not monotone".into() };
+        assert!(e.to_string().contains("24"));
+        assert!(e.to_string().contains("monotone"));
+
+        let e = GraphError::MalformedLine { line: 3, reason: "unknown directive 'frob'".into() };
+        assert!(e.to_string().contains("line 3"));
+        assert!(e.to_string().contains("frob"));
     }
 
     #[test]

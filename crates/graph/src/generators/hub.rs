@@ -52,22 +52,31 @@ pub fn preferential_attachment<R: Rng + ?Sized>(n: usize, m: usize, rng: &mut R)
     }
     let mut g = Graph::with_capacity(n);
     let nodes = g.add_nodes_with_default_ids(n);
-    // Seed: the complete graph on the first min(n, m + 1) nodes.
-    let seed_size = n.min(m + 1);
+    // Seed: the complete graph on the first min(n, m + 1) nodes (saturating,
+    // so an absurd caller-supplied `m` degenerates to the complete graph on
+    // `n` nodes instead of overflowing).
+    let seed_size = n.min(m.saturating_add(1));
     for i in 0..seed_size {
         for j in (i + 1)..seed_size {
             g.add_edge(nodes[i], nodes[j])?;
         }
     }
     // `targets` lists every node once per incident edge endpoint, so a
-    // uniform draw from it is exactly degree-proportional attachment.
-    let mut targets: Vec<usize> = Vec::with_capacity(2 * m * n);
+    // uniform draw from it is exactly degree-proportional attachment. The
+    // capacity bound uses saturating arithmetic: `m` is caller-controlled
+    // and only ever contributes `m.min(v) < n` edges per attached node, so
+    // an absurd `m` must not overflow the reservation.
+    let attach_per_node = m.min(n);
+    let capacity = seed_size
+        .saturating_mul(seed_size.saturating_sub(1))
+        .saturating_add(2usize.saturating_mul(attach_per_node).saturating_mul(n - seed_size));
+    let mut targets: Vec<usize> = Vec::with_capacity(capacity);
     for i in 0..seed_size {
         for _ in 0..seed_size.saturating_sub(1) {
             targets.push(i);
         }
     }
-    let mut chosen: Vec<usize> = Vec::with_capacity(m);
+    let mut chosen: Vec<usize> = Vec::with_capacity(attach_per_node);
     for v in seed_size..n {
         chosen.clear();
         // Draw m distinct targets by rejection; terminates because at least
@@ -173,6 +182,15 @@ mod tests {
     use crate::traversal;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
+
+    #[test]
+    fn preferential_attachment_survives_absurd_m_without_overflow() {
+        // m = usize::MAX degenerates to the complete graph on n nodes; the
+        // seed-size and capacity arithmetic must saturate, not panic.
+        let g = preferential_attachment(5, usize::MAX, &mut StdRng::seed_from_u64(1)).unwrap();
+        assert_eq!(g.node_count(), 5);
+        assert_eq!(g.edge_count(), 10);
+    }
 
     #[test]
     fn preferential_attachment_is_connected_and_exact() {

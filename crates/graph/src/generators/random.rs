@@ -44,15 +44,22 @@ pub fn erdos_renyi<R: Rng + ?Sized>(n: usize, p: f64, rng: &mut R) -> Result<Gra
 ///
 /// # Errors
 ///
-/// Returns [`GraphError::InvalidGeneratorParameter`] when `n == 0` or `m`
-/// exceeds the number of possible edges.
+/// Returns [`GraphError::InvalidGeneratorParameter`] when `n == 0`, when the
+/// potential-edge count `n(n-1)/2` overflows `usize`, or when `m` exceeds
+/// the number of possible edges.
 pub fn gnm_random<R: Rng + ?Sized>(n: usize, m: usize, rng: &mut R) -> Result<Graph> {
     if n == 0 {
         return Err(GraphError::InvalidGeneratorParameter {
             reason: "G(n, m) needs at least 1 node".to_string(),
         });
     }
-    let max_edges = n * (n - 1) / 2;
+    // `n` is caller-controlled: the potential-edge count must not overflow
+    // (which would panic in debug builds and mis-size the draw in release).
+    let max_edges = n.checked_mul(n - 1).map(|product| product / 2).ok_or_else(|| {
+        GraphError::InvalidGeneratorParameter {
+            reason: format!("G(n, m) with n={n} has more potential edges than usize can count"),
+        }
+    })?;
     if m > max_edges {
         return Err(GraphError::InvalidGeneratorParameter {
             reason: format!("G(n, m) with n={n} supports at most {max_edges} edges, got {m}"),
@@ -161,6 +168,13 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(3);
         assert!(gnm_random(4, 7, &mut rng).is_err());
         assert!(gnm_random(0, 0, &mut rng).is_err());
+    }
+
+    #[test]
+    fn gnm_rejects_overflowing_node_count_instead_of_panicking() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let err = gnm_random(usize::MAX, 1, &mut rng).unwrap_err();
+        assert!(err.to_string().contains("potential edges"));
     }
 
     #[test]

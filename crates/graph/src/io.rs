@@ -67,10 +67,13 @@ pub fn to_edge_list(graph: &Graph) -> String {
 ///
 /// # Errors
 ///
-/// Returns [`GraphError::InvalidGeneratorParameter`] for malformed lines,
-/// unknown directives, or non-numeric identifiers, and propagates builder
-/// errors (duplicate identifiers, duplicate edges, self loops, edges naming
-/// unknown nodes).
+/// The input is treated as untrusted text: every parse failure is reported
+/// as a typed [`GraphError::MalformedLine`] carrying the 1-based line number
+/// (unknown directives, missing or non-numeric identifiers, trailing
+/// tokens). Builder errors that only surface once the whole document is
+/// assembled (duplicate identifiers, duplicate edges, self loops, edges
+/// naming unknown nodes) are propagated unchanged. This function never
+/// panics, whatever the input.
 pub fn from_edge_list(text: &str) -> Result<Graph> {
     let mut builder = GraphBuilder::new();
     for (line_no, raw_line) in text.lines().enumerate() {
@@ -79,16 +82,18 @@ pub fn from_edge_list(text: &str) -> Result<Graph> {
             continue;
         }
         let mut parts = line.split_whitespace();
-        let directive = parts.next().expect("non-empty line has a first token");
+        let Some(directive) = parts.next() else {
+            continue; // unreachable: the line is non-empty, but never panic on input
+        };
         let parse = |token: Option<&str>| -> Result<u64> {
-            token
-                .ok_or_else(|| GraphError::InvalidGeneratorParameter {
-                    reason: format!("line {}: missing identifier", line_no + 1),
-                })?
-                .parse::<u64>()
-                .map_err(|_| GraphError::InvalidGeneratorParameter {
-                    reason: format!("line {}: identifier is not an integer", line_no + 1),
-                })
+            let token = token.ok_or_else(|| GraphError::MalformedLine {
+                line: line_no + 1,
+                reason: "missing identifier".to_string(),
+            })?;
+            token.parse::<u64>().map_err(|_| GraphError::MalformedLine {
+                line: line_no + 1,
+                reason: format!("identifier '{token}' is not an unsigned integer"),
+            })
         };
         match directive {
             "node" => {
@@ -101,14 +106,16 @@ pub fn from_edge_list(text: &str) -> Result<Graph> {
                 builder = builder.edge(a, b);
             }
             other => {
-                return Err(GraphError::InvalidGeneratorParameter {
-                    reason: format!("line {}: unknown directive '{other}'", line_no + 1),
+                return Err(GraphError::MalformedLine {
+                    line: line_no + 1,
+                    reason: format!("unknown directive '{other}'"),
                 });
             }
         }
         if parts.next().is_some() {
-            return Err(GraphError::InvalidGeneratorParameter {
-                reason: format!("line {}: trailing tokens", line_no + 1),
+            return Err(GraphError::MalformedLine {
+                line: line_no + 1,
+                reason: "trailing tokens after the directive arguments".to_string(),
             });
         }
     }
@@ -177,6 +184,29 @@ mod tests {
         assert!(from_edge_list("node 1\nedge 1 1").is_err()); // self loop
         assert!(from_edge_list("node 1\nnode 2\nedge 1 3").is_err()); // unknown node
         assert!(from_edge_list("node 1 2").is_err()); // trailing tokens
+    }
+
+    #[test]
+    fn parse_errors_carry_the_offending_line_number() {
+        let text = "node 1\nnode 2\nfrob 3\n";
+        match from_edge_list(text) {
+            Err(GraphError::MalformedLine { line, reason }) => {
+                assert_eq!(line, 3);
+                assert!(reason.contains("frob"));
+            }
+            other => panic!("expected MalformedLine, got {other:?}"),
+        }
+        // Blank and comment lines still count toward the line number.
+        let text = "# header\n\nnode 1\nnode nope\n";
+        match from_edge_list(text) {
+            Err(GraphError::MalformedLine { line, .. }) => assert_eq!(line, 4),
+            other => panic!("expected MalformedLine, got {other:?}"),
+        }
+        // Overflowing identifiers are parse errors, not panics.
+        match from_edge_list("node 99999999999999999999999999") {
+            Err(GraphError::MalformedLine { line: 1, .. }) => {}
+            other => panic!("expected MalformedLine, got {other:?}"),
+        }
     }
 
     #[test]

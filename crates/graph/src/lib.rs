@@ -19,6 +19,9 @@
 //! * [`ball`] — radius-`r` balls, the unit of knowledge in the LOCAL model;
 //! * [`CsrGraph`] / [`BallGrower`] — the frozen flat adjacency snapshot and
 //!   the incremental ball engine the executors' hot paths run on;
+//! * [`snapshot`] — the versioned binary form of a [`CsrGraph`]
+//!   ([`CsrGraph::to_bytes`] / [`CsrGraph::from_bytes`]) with a validating
+//!   decoder that treats its input as untrusted;
 //! * [`traversal`] / [`metrics`] — centralized graph algorithms used for
 //!   verification and reporting;
 //! * [`PortNumbering`] — the local names a node uses for its incident edges.
@@ -58,6 +61,7 @@ pub mod io;
 pub mod metrics;
 mod permutation;
 mod ports;
+pub mod snapshot;
 pub mod topology;
 pub mod traversal;
 

@@ -94,9 +94,23 @@ impl FrozenExecutor {
     /// # Panics
     ///
     /// Panics when `identifiers` does not provide exactly one identifier per
-    /// node.
+    /// node. Callers handling untrusted table lengths should use
+    /// [`FrozenExecutor::try_set_identifiers`] instead.
     pub fn set_identifiers(&mut self, identifiers: &[Identifier]) {
         self.csr.set_identifiers(identifiers);
+    }
+
+    /// Fallible counterpart of [`FrozenExecutor::set_identifiers`] for
+    /// untrusted table lengths.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`avglocal_graph::GraphError::AssignmentLengthMismatch`]
+    /// (wrapped in [`crate::RuntimeError::Graph`], leaving the session
+    /// unchanged) when `identifiers` does not provide exactly one identifier
+    /// per node.
+    pub fn try_set_identifiers(&mut self, identifiers: &[Identifier]) -> Result<()> {
+        self.csr.try_set_identifiers(identifiers).map_err(crate::RuntimeError::Graph)
     }
 
     /// Runs `algorithm` for a single node and returns `(output, radius)`.
@@ -206,6 +220,23 @@ mod tests {
                 assert_eq!(r, expected.radius(v));
             }
         }
+    }
+
+    #[test]
+    fn try_set_identifiers_rejects_wrong_length_without_touching_the_session() {
+        let g = generators::cycle(6).unwrap();
+        let mut session = FrozenExecutor::new(&g);
+        let err = session.try_set_identifiers(&IdAssignment::Identity.identifiers(3, 0));
+        assert!(matches!(
+            err,
+            Err(RuntimeError::Graph(avglocal_graph::GraphError::AssignmentLengthMismatch {
+                provided: 3,
+                expected: 6,
+            }))
+        ));
+        // The session still runs on its original identifier table.
+        let run = session.run(&NaiveLargestId, Knowledge::none()).unwrap();
+        assert_eq!(run.outputs().len(), 6);
     }
 
     #[test]
