@@ -1,0 +1,494 @@
+//! In-tree stand-in for the subset of the
+//! [`loom`](https://crates.io/crates/loom) model checker this workspace
+//! uses to verify the `compat/rayon` worker pool.
+//!
+//! The build environment has no crate registry, so — like the other
+//! `compat/` shims — this crate vendors the *surface* the workspace needs:
+//! drop-in instrumented replacements for `AtomicUsize` / `AtomicBool`,
+//! `Mutex` / `Condvar`, `Arc`, `thread::spawn`, and a loom-style
+//! [`cell::UnsafeCell`] with `with` / `with_mut` access closures, all driven
+//! by [`model`] (or [`Builder::check`] for explicit bounds + statistics).
+//!
+//! A model run executes the closure under **every thread interleaving**
+//! reachable within a preemption bound, with a deterministic DFS scheduler,
+//! and checks each one for data races (vector-clock based, memory-ordering
+//! aware: a `Relaxed` publication that *would* race under the C11 model is
+//! reported even if the explored schedule happened to be safe), deadlocks,
+//! livelocks and panics. See [`rt`](crate::Builder) for the exact execution
+//! and visibility model, including its two documented simplifications:
+//! atomic loads observe the latest store (no stale-`Relaxed`-value
+//! exploration), and condvars have no spurious wakeups.
+//!
+//! Outside a model every wrapper degrades to a thin passthrough over the
+//! `std` primitive, so instrumented code keeps working (uninstrumented and
+//! unchecked) if it is ever driven without `loom::model` — with the one
+//! rule that an object created inside a model run must not be used in a
+//! *different* run (detected and reported, rather than silently aliased).
+
+#![warn(missing_docs)]
+
+mod rt;
+
+pub use rt::{Builder, Stats};
+
+use std::sync::atomic::{AtomicBool as StdAtomicBool, AtomicUsize as StdAtomicUsize};
+use std::sync::PoisonError;
+
+/// Explores every schedule of `f` within the default bounds, panicking with
+/// a diagnostic on the first data race, deadlock, or panic found.
+pub fn model<F: Fn()>(f: F) {
+    let _ = Builder::default().check(f);
+}
+
+/// The object-identity half of every instrumented wrapper: which execution
+/// the object was registered in, and its id there.
+#[derive(Debug, Clone, Copy)]
+struct ObjectId {
+    epoch: usize,
+    oid: usize,
+}
+
+impl ObjectId {
+    /// Registers a fresh object with the active execution, or marks the
+    /// object as unregistered (passthrough) when created outside a model.
+    fn register(make: impl FnOnce() -> rt::Object) -> ObjectId {
+        match rt::current() {
+            Some(exec) => ObjectId { epoch: exec.epoch, oid: exec.alloc_object(make()) },
+            None => ObjectId { epoch: 0, oid: usize::MAX },
+        }
+    }
+
+    /// The object's id in `exec`; panics if the object belongs to a
+    /// different (e.g. previous) model run, which would otherwise silently
+    /// alias another object's clocks.
+    fn in_exec(&self, exec: &rt::Execution) -> usize {
+        assert!(
+            self.epoch == exec.epoch,
+            "loom object used in a model run it was not created in \
+             (create all instrumented objects inside the model closure)"
+        );
+        self.oid
+    }
+}
+
+/// Instrumented atomics and the re-exported [`Ordering`].
+///
+/// [`Ordering`]: std::sync::atomic::Ordering
+pub mod sync {
+    use super::*;
+
+    /// Instrumented atomic integer/flag types.
+    pub mod atomic {
+        use super::*;
+        pub use std::sync::atomic::Ordering;
+
+        fn is_acquire(ordering: Ordering) -> bool {
+            matches!(ordering, Ordering::Acquire | Ordering::AcqRel | Ordering::SeqCst)
+        }
+
+        fn is_release(ordering: Ordering) -> bool {
+            matches!(ordering, Ordering::Release | Ordering::AcqRel | Ordering::SeqCst)
+        }
+
+        macro_rules! instrumented_atomic {
+            ($name:ident, $std:ty, $value:ty) => {
+                /// An instrumented atomic: under a model every access is a
+                /// visible operation with memory-ordering-aware visibility
+                /// tracking; outside a model it is the `std` atomic.
+                #[derive(Debug)]
+                pub struct $name {
+                    value: $std,
+                    id: ObjectId,
+                }
+
+                impl $name {
+                    /// Creates the atomic, registering it with the active
+                    /// model run (if any).
+                    pub fn new(value: $value) -> Self {
+                        $name {
+                            value: <$std>::new(value),
+                            id: ObjectId::register(|| rt::Object::Atomic {
+                                release: rt::VClock::default(),
+                            }),
+                        }
+                    }
+
+                    /// Atomic load; `Acquire` and stronger joins the
+                    /// location's release clock into this thread.
+                    pub fn load(&self, ordering: Ordering) -> $value {
+                        match rt::current() {
+                            Some(exec) => exec.atomic_load(
+                                self.id.in_exec(&exec),
+                                is_acquire(ordering),
+                                || self.value.load(Ordering::SeqCst),
+                            ),
+                            None => self.value.load(ordering),
+                        }
+                    }
+
+                    /// Atomic store; `Release` and stronger publishes this
+                    /// thread's clock, `Relaxed` starts a fresh,
+                    /// synchronization-free release sequence.
+                    pub fn store(&self, value: $value, ordering: Ordering) {
+                        match rt::current() {
+                            Some(exec) => exec.atomic_store(
+                                self.id.in_exec(&exec),
+                                is_release(ordering),
+                                || self.value.store(value, Ordering::SeqCst),
+                            ),
+                            None => self.value.store(value, ordering),
+                        }
+                    }
+
+                    /// Atomic swap (a read-modify-write: the claim order is
+                    /// the schedule order).
+                    pub fn swap(&self, value: $value, ordering: Ordering) -> $value {
+                        match rt::current() {
+                            Some(exec) => exec.atomic_rmw(
+                                self.id.in_exec(&exec),
+                                is_acquire(ordering),
+                                is_release(ordering),
+                                || self.value.swap(value, Ordering::SeqCst),
+                            ),
+                            None => self.value.swap(value, ordering),
+                        }
+                    }
+                }
+            };
+        }
+
+        instrumented_atomic!(AtomicUsize, StdAtomicUsize, usize);
+        instrumented_atomic!(AtomicBool, StdAtomicBool, bool);
+
+        impl AtomicUsize {
+            /// Atomic fetch-add (a read-modify-write; a relaxed RMW still
+            /// continues an existing release sequence, as in C11).
+            pub fn fetch_add(&self, value: usize, ordering: Ordering) -> usize {
+                match rt::current() {
+                    Some(exec) => exec.atomic_rmw(
+                        self.id.in_exec(&exec),
+                        is_acquire(ordering),
+                        is_release(ordering),
+                        || self.value.fetch_add(value, Ordering::SeqCst),
+                    ),
+                    None => self.value.fetch_add(value, ordering),
+                }
+            }
+        }
+    }
+
+    /// An instrumented mutex. Lock acquisition is a blocking visible
+    /// operation; the protected value itself lives in a real `std` mutex
+    /// (always uncontended under a model, because the scheduler serialises
+    /// visible operations). Poisoning is not modelled: `lock` always
+    /// returns `Ok`, and a poisoned passthrough lock is recovered.
+    #[derive(Debug)]
+    pub struct Mutex<T> {
+        id: ObjectId,
+        data: std::sync::Mutex<T>,
+    }
+
+    /// Guard returned by [`Mutex::lock`]; releasing it is a visible
+    /// operation that publishes the holder's clock to the next locker.
+    pub struct MutexGuard<'a, T> {
+        lock: &'a Mutex<T>,
+        exec: Option<std::sync::Arc<rt::Execution>>,
+        oid: usize,
+        inner: Option<std::sync::MutexGuard<'a, T>>,
+    }
+
+    impl<T> Mutex<T> {
+        /// Creates the mutex, registering it with the active model run.
+        pub fn new(data: T) -> Mutex<T> {
+            Mutex {
+                id: ObjectId::register(|| rt::Object::Mutex {
+                    locked_by: None,
+                    clock: rt::VClock::default(),
+                }),
+                data: std::sync::Mutex::new(data),
+            }
+        }
+
+        /// Acquires the mutex (never poisoned — always `Ok`).
+        pub fn lock(&self) -> std::sync::LockResult<MutexGuard<'_, T>> {
+            match rt::current() {
+                Some(exec) => {
+                    let oid = self.id.in_exec(&exec);
+                    exec.mutex_lock(oid);
+                    let inner = self.data.lock().unwrap_or_else(PoisonError::into_inner);
+                    Ok(MutexGuard { lock: self, exec: Some(exec), oid, inner: Some(inner) })
+                }
+                None => {
+                    let inner = self.data.lock().unwrap_or_else(PoisonError::into_inner);
+                    Ok(MutexGuard { lock: self, exec: None, oid: usize::MAX, inner: Some(inner) })
+                }
+            }
+        }
+    }
+
+    impl<T> std::ops::Deref for MutexGuard<'_, T> {
+        type Target = T;
+        fn deref(&self) -> &T {
+            self.inner.as_ref().expect("guard still holds the lock")
+        }
+    }
+
+    impl<T> std::ops::DerefMut for MutexGuard<'_, T> {
+        fn deref_mut(&mut self) -> &mut T {
+            self.inner.as_mut().expect("guard still holds the lock")
+        }
+    }
+
+    impl<T> Drop for MutexGuard<'_, T> {
+        fn drop(&mut self) {
+            // Release the real lock before the model-level unlock: the
+            // model may hand the mutex to another thread at the unlock
+            // decision, and that thread must not block on the real lock.
+            drop(self.inner.take());
+            if let Some(exec) = self.exec.take() {
+                exec.mutex_unlock(self.oid);
+            }
+        }
+    }
+
+    /// An instrumented condition variable. Waits and notifies are visible
+    /// operations; `notify_one` wakes the longest-parked waiter, and there
+    /// are **no spurious wakeups** under a model (both documented
+    /// simplifications of the real primitive).
+    #[derive(Debug)]
+    pub struct Condvar {
+        id: ObjectId,
+        real: std::sync::Condvar,
+    }
+
+    impl Default for Condvar {
+        fn default() -> Condvar {
+            Condvar::new()
+        }
+    }
+
+    impl Condvar {
+        /// Creates the condvar, registering it with the active model run.
+        pub fn new() -> Condvar {
+            Condvar {
+                id: ObjectId::register(|| rt::Object::Condvar { waiters: Vec::new() }),
+                real: std::sync::Condvar::new(),
+            }
+        }
+
+        /// Releases the guard's mutex, parks until notified, reacquires.
+        pub fn wait<'a, T>(
+            &self,
+            guard: MutexGuard<'a, T>,
+        ) -> std::sync::LockResult<MutexGuard<'a, T>> {
+            let mut guard = std::mem::ManuallyDrop::new(guard);
+            let exec = guard.exec.take();
+            let inner = guard.inner.take();
+            let lock = guard.lock;
+            let mutex_oid = guard.oid;
+            match exec {
+                Some(exec) => {
+                    // Drop the real guard before parking; the model-level
+                    // wait releases the model mutex itself.
+                    drop(inner);
+                    let cv_oid = self.id.in_exec(&exec);
+                    exec.condvar_wait(cv_oid, mutex_oid);
+                    let inner = lock.data.lock().unwrap_or_else(PoisonError::into_inner);
+                    Ok(MutexGuard { lock, exec: Some(exec), oid: mutex_oid, inner: Some(inner) })
+                }
+                None => {
+                    let inner = self
+                        .real
+                        .wait(inner.expect("guard still holds the lock"))
+                        .unwrap_or_else(PoisonError::into_inner);
+                    Ok(MutexGuard { lock, exec: None, oid: mutex_oid, inner: Some(inner) })
+                }
+            }
+        }
+
+        /// Wakes the longest-parked waiter, if any.
+        pub fn notify_one(&self) {
+            match rt::current() {
+                Some(exec) => exec.condvar_notify(self.id.in_exec(&exec), false),
+                None => self.real.notify_one(),
+            }
+        }
+
+        /// Wakes every parked waiter.
+        pub fn notify_all(&self) {
+            match rt::current() {
+                Some(exec) => exec.condvar_notify(self.id.in_exec(&exec), true),
+                None => self.real.notify_all(),
+            }
+        }
+    }
+
+    /// An instrumented `Arc`: handle drops release the dropper's clock into
+    /// the control block and the final drop acquires the join of all of
+    /// them — the synchronization the real `Arc`'s reference count
+    /// provides.
+    #[derive(Debug)]
+    pub struct Arc<T> {
+        inner: std::sync::Arc<ArcBox<T>>,
+    }
+
+    #[derive(Debug)]
+    struct ArcBox<T> {
+        id: ObjectId,
+        value: T,
+    }
+
+    impl<T> Arc<T> {
+        /// Allocates a new instrumented `Arc`.
+        pub fn new(value: T) -> Arc<T> {
+            Arc {
+                inner: std::sync::Arc::new(ArcBox {
+                    id: ObjectId::register(|| rt::Object::Arc { clock: rt::VClock::default() }),
+                    value,
+                }),
+            }
+        }
+    }
+
+    impl<T> Clone for Arc<T> {
+        fn clone(&self) -> Arc<T> {
+            Arc { inner: std::sync::Arc::clone(&self.inner) }
+        }
+    }
+
+    impl<T> std::ops::Deref for Arc<T> {
+        type Target = T;
+        fn deref(&self) -> &T {
+            &self.inner.value
+        }
+    }
+
+    impl<T> Drop for Arc<T> {
+        fn drop(&mut self) {
+            if let Some(exec) = rt::current() {
+                let oid = self.inner.id.in_exec(&exec);
+                let last = std::sync::Arc::strong_count(&self.inner) == 1;
+                exec.arc_drop(oid, last);
+            }
+        }
+    }
+}
+
+/// The loom-style checked cell.
+pub mod cell {
+    use super::*;
+
+    /// An `UnsafeCell` whose accesses are race-checked under a model: a
+    /// `with` access records a read, a `with_mut` access records a write,
+    /// and any access not ordered (happens-before) after every conflicting
+    /// earlier access fails the model with a data-race diagnostic.
+    ///
+    /// The access closures receive the raw pointer, exactly like upstream
+    /// loom; dereferencing it is the caller's `unsafe` obligation.
+    #[derive(Debug)]
+    pub struct UnsafeCell<T> {
+        id: ObjectId,
+        data: std::cell::UnsafeCell<T>,
+    }
+
+    // SAFETY: under a model, accesses are serialised by the scheduler (the
+    // closure runs while its thread holds the execution token) and
+    // unsynchronized concurrent accesses are detected and reported; outside
+    // a model the cell is a plain `UnsafeCell` and the `with`/`with_mut`
+    // callers carry the aliasing obligations, as documented.
+    unsafe impl<T: Send> Send for UnsafeCell<T> {}
+    // SAFETY: as above — shared references only hand out raw pointers, and
+    // the checked discipline (or the caller's unsafe contract, outside a
+    // model) rules out unsynchronized conflicting access.
+    unsafe impl<T: Send> Sync for UnsafeCell<T> {}
+
+    impl<T> UnsafeCell<T> {
+        /// Creates the cell, registering it with the active model run.
+        pub fn new(data: T) -> UnsafeCell<T> {
+            UnsafeCell {
+                id: ObjectId::register(|| rt::Object::Cell {
+                    writes: rt::VClock::default(),
+                    reads: rt::VClock::default(),
+                }),
+                data: std::cell::UnsafeCell::new(data),
+            }
+        }
+
+        /// Immutable access: records a read and race-checks it.
+        pub fn with<R>(&self, f: impl FnOnce(*const T) -> R) -> R {
+            match rt::current() {
+                Some(exec) => exec.cell_access(
+                    self.id.in_exec(&exec),
+                    false,
+                    std::any::type_name::<T>(),
+                    || f(self.data.get()),
+                ),
+                None => f(self.data.get()),
+            }
+        }
+
+        /// Mutable access: records a write and race-checks it.
+        pub fn with_mut<R>(&self, f: impl FnOnce(*mut T) -> R) -> R {
+            match rt::current() {
+                Some(exec) => exec.cell_access(
+                    self.id.in_exec(&exec),
+                    true,
+                    std::any::type_name::<T>(),
+                    || f(self.data.get()),
+                ),
+                None => f(self.data.get()),
+            }
+        }
+
+        /// Consumes the cell.
+        pub fn into_inner(self) -> T {
+            self.data.into_inner()
+        }
+    }
+}
+
+/// Model threads.
+pub mod thread {
+    use super::*;
+    use std::sync::PoisonError;
+
+    /// Handle to a spawned model thread; joining is a visible (blocking)
+    /// operation establishing the usual join synchronization edge.
+    pub struct JoinHandle<T> {
+        tid: usize,
+        result: std::sync::Arc<std::sync::Mutex<Option<T>>>,
+        exec: std::sync::Arc<rt::Execution>,
+    }
+
+    /// Spawns a model thread. Panics when called outside a model run —
+    /// unlike the other wrappers there is no meaningful passthrough, since
+    /// the scheduler owns thread lifecycles.
+    pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+    where
+        F: FnOnce() -> T + Send + 'static,
+        T: Send + 'static,
+    {
+        let exec = rt::current().expect("loom::thread::spawn requires an active model run");
+        let result = std::sync::Arc::new(std::sync::Mutex::new(None));
+        let slot = std::sync::Arc::clone(&result);
+        let tid = exec.spawn_thread(Box::new(move || {
+            let value = f();
+            *slot.lock().unwrap_or_else(PoisonError::into_inner) = Some(value);
+        }));
+        JoinHandle { tid, result, exec }
+    }
+
+    impl<T> JoinHandle<T> {
+        /// Blocks until the thread finishes and returns its result.
+        pub fn join(self) -> std::thread::Result<T> {
+            self.exec.join_thread(self.tid);
+            let value = self.result.lock().unwrap_or_else(PoisonError::into_inner).take();
+            match value {
+                Some(value) => Ok(value),
+                // The thread panicked; the model also records this as a
+                // failure, so this path is rarely observed.
+                None => Err(Box::new("model thread panicked before producing a result")),
+            }
+        }
+    }
+}

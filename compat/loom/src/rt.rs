@@ -1,0 +1,878 @@
+//! The model-checking runtime: a deterministic cooperative scheduler that
+//! DFS-explores thread interleavings, plus the vector-clock machinery that
+//! detects data races under C11-style release/acquire visibility.
+//!
+//! # Execution model
+//!
+//! Every instrumented operation (atomic access, mutex lock/unlock, condvar
+//! wait/notify, `UnsafeCell` access, spawn/join) is a *visible operation*.
+//! Model threads are real OS threads, but exactly one runs at a time: a
+//! thread performs one visible operation while it holds the logical token
+//! (`active == me`), then a *scheduling decision* picks which thread performs
+//! the next one. The sequence of decisions taken in one run is the
+//! *schedule*; after each run the deepest decision with an untried
+//! alternative is advanced and the run replayed — a depth-first enumeration
+//! of schedules.
+//!
+//! # Preemption bounding
+//!
+//! Full enumeration is exponential in the trace length, so exploration is
+//! *preemption-bounded* (CHESS-style): switching away from a thread that
+//! could have continued costs one unit of a configurable budget
+//! ([`Builder::preemption_bound`]); forced switches (the running thread
+//! blocked or finished) are free. Empirically almost all concurrency bugs
+//! manifest within two preemptions, and every schedule with more context
+//! switches than the bound is deliberately skipped — the suite pins the
+//! explored-iteration counts so a scheduler change cannot silently shrink
+//! coverage.
+//!
+//! # Race detection
+//!
+//! Visibility is tracked with vector clocks, independently of the schedule
+//! actually explored, so a racy publication is caught even on a schedule
+//! where the accesses happen to land in a safe order:
+//!
+//! * every thread carries a clock, bumped at each visible operation;
+//! * `Release` stores replace an atomic's *release clock* with the writer's
+//!   clock; `Relaxed` stores **clear** it (a relaxed store starts a new,
+//!   synchronization-free release sequence); relaxed RMWs leave it in place
+//!   (they continue the release sequence, as in C11);
+//! * `Acquire` loads join the atomic's release clock into the reader —
+//!   `Relaxed` loads join nothing;
+//! * mutexes join the holder's clock on unlock and release it to the next
+//!   locker; spawn/join edges do the obvious joins;
+//! * an [`crate::cell::UnsafeCell`] access races iff a prior conflicting
+//!   access is not happens-before the accessor — reported as a model
+//!   failure naming both the cell and the access kinds.
+//!
+//! Atomic *values* follow the modification order (each load observes the
+//! latest store), i.e. the checker does not additionally explore stale
+//! `Relaxed` loads; stale-value bugs that matter here are publication
+//! races, which the clock machinery catches as described above.
+
+use std::cell::Cell;
+use std::collections::HashMap;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize as StdAtomicUsize, Ordering as StdOrdering};
+use std::sync::{
+    Arc, Condvar as StdCondvar, Mutex as StdMutex, MutexGuard as StdMutexGuard, OnceLock,
+    PoisonError,
+};
+
+/// Sentinel for "no model thread" in the thread-local slot.
+const NO_TID: usize = usize::MAX;
+
+/// Panic payload used to abort model threads once a failure is recorded.
+/// Instrumented operations throw it instead of blocking, so every thread
+/// unwinds out of the iteration promptly; the runner swallows it and reports
+/// the recorded failure instead.
+pub(crate) struct ModelAbort;
+
+thread_local! {
+    /// The model-thread id of this OS thread, `NO_TID` outside a model.
+    static MODEL_TID: Cell<usize> = const { Cell::new(NO_TID) };
+}
+
+/// Process-wide map from OS thread to the execution it participates in.
+/// Keyed by OS thread id so concurrently running models (cargo's parallel
+/// test harness) stay disjoint.
+fn registry() -> &'static StdMutex<HashMap<std::thread::ThreadId, Arc<Execution>>> {
+    static REGISTRY: OnceLock<StdMutex<HashMap<std::thread::ThreadId, Arc<Execution>>>> =
+        OnceLock::new();
+    REGISTRY.get_or_init(|| StdMutex::new(HashMap::new()))
+}
+
+/// The execution the current OS thread is a model thread of, if any.
+pub(crate) fn current() -> Option<Arc<Execution>> {
+    let map = registry().lock().unwrap_or_else(PoisonError::into_inner);
+    map.get(&std::thread::current().id()).cloned()
+}
+
+fn register_current(exec: &Arc<Execution>, tid: usize) {
+    MODEL_TID.with(|cell| cell.set(tid));
+    registry()
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner)
+        .insert(std::thread::current().id(), Arc::clone(exec));
+}
+
+fn deregister_current() {
+    MODEL_TID.with(|cell| cell.set(NO_TID));
+    registry().lock().unwrap_or_else(PoisonError::into_inner).remove(&std::thread::current().id());
+}
+
+/// A vector clock: `clock[t]` is the latest operation of thread `t` known to
+/// happen-before the clock's owner.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub(crate) struct VClock(Vec<u32>);
+
+impl VClock {
+    fn get(&self, t: usize) -> u32 {
+        self.0.get(t).copied().unwrap_or(0)
+    }
+
+    fn set(&mut self, t: usize, v: u32) {
+        if self.0.len() <= t {
+            self.0.resize(t + 1, 0);
+        }
+        self.0[t] = v;
+    }
+
+    fn bump(&mut self, t: usize) {
+        let v = self.get(t) + 1;
+        self.set(t, v);
+    }
+
+    fn join(&mut self, other: &VClock) {
+        for (t, &v) in other.0.iter().enumerate() {
+            if self.get(t) < v {
+                self.set(t, v);
+            }
+        }
+    }
+
+    /// `self` happens-before (or equals) `other`.
+    fn le(&self, other: &VClock) -> bool {
+        self.0.iter().enumerate().all(|(t, &v)| v <= other.get(t))
+    }
+
+    fn clear(&mut self) {
+        self.0.clear();
+    }
+}
+
+/// Scheduling status of a model thread.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Status {
+    Runnable,
+    /// Waiting to acquire the mutex with this object id.
+    BlockedMutex(usize),
+    /// Parked on a condvar, not yet notified.
+    BlockedCondvar,
+    /// Waiting for the thread with this id to finish.
+    BlockedJoin(usize),
+    Finished,
+}
+
+struct ThreadState {
+    status: Status,
+    clock: VClock,
+}
+
+/// Model state of one instrumented object.
+pub(crate) enum Object {
+    /// An atomic variable: the clock released by the current release
+    /// sequence (empty after a plain `Relaxed` store).
+    Atomic { release: VClock },
+    /// A mutex: the holder, plus the clock accumulated by past unlocks.
+    Mutex { locked_by: Option<usize>, clock: VClock },
+    /// A condvar: parked threads and the mutex each must reacquire.
+    Condvar { waiters: Vec<(usize, usize)> },
+    /// An `UnsafeCell`: clocks of past writes and reads, for race checks.
+    Cell { writes: VClock, reads: VClock },
+    /// An `Arc` control block: clocks released by dropped handles.
+    Arc { clock: VClock },
+}
+
+/// One node of the schedule: which threads were enabled, which was chosen.
+#[derive(Clone, Debug)]
+struct Decision {
+    /// Enabled threads at this point; when `!free`, index 0 is the thread
+    /// that was running (so choosing any other index is a preemption).
+    candidates: Vec<usize>,
+    /// Index into `candidates` taken on the current run.
+    chosen: usize,
+    /// The running thread was blocked/finished: switching is forced and
+    /// costs no preemption budget.
+    free: bool,
+    /// Preemptions consumed on the path before this decision.
+    preemptions_before: usize,
+}
+
+struct ExecState {
+    threads: Vec<ThreadState>,
+    /// The model thread currently holding the execution token.
+    active: usize,
+    objects: Vec<Object>,
+    schedule: Vec<Decision>,
+    /// Next schedule index: below `replay_len` decisions are replayed.
+    cursor: usize,
+    replay_len: usize,
+    preemptions: usize,
+    steps: usize,
+    max_steps: usize,
+    /// Threads not yet finished.
+    live: usize,
+    failure: Option<String>,
+    /// Panic payload of a failing model thread, re-thrown by the runner.
+    payload: Option<Box<dyn std::any::Any + Send + 'static>>,
+    /// OS handles of spawned threads, joined at iteration end.
+    handles: Vec<std::thread::JoinHandle<()>>,
+}
+
+/// One model iteration: the scheduler/clock state shared by its threads.
+pub(crate) struct Execution {
+    inner: StdMutex<ExecState>,
+    cv: StdCondvar,
+    /// Distinguishes iterations, so statically-allocated objects lazily
+    /// re-register instead of aliasing stale object ids.
+    pub(crate) epoch: usize,
+}
+
+fn next_epoch() -> usize {
+    static EPOCH: StdAtomicUsize = StdAtomicUsize::new(1);
+    // ordering: a unique-id counter; no memory is published through it.
+    EPOCH.fetch_add(1, StdOrdering::Relaxed)
+}
+
+impl Execution {
+    fn new(prefix: Vec<Decision>, max_steps: usize) -> Execution {
+        let mut main_clock = VClock::default();
+        main_clock.bump(0);
+        let replay_len = prefix.len();
+        Execution {
+            inner: StdMutex::new(ExecState {
+                threads: vec![ThreadState { status: Status::Runnable, clock: main_clock }],
+                active: 0,
+                objects: Vec::new(),
+                schedule: prefix,
+                cursor: 0,
+                replay_len,
+                preemptions: 0,
+                steps: 0,
+                max_steps,
+                live: 1,
+                failure: None,
+                payload: None,
+                handles: Vec::new(),
+            }),
+            cv: StdCondvar::new(),
+            epoch: next_epoch(),
+        }
+    }
+
+    fn lock(&self) -> StdMutexGuard<'_, ExecState> {
+        self.inner.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Records a failure (first one wins) and wakes every parked thread so
+    /// the iteration unwinds instead of hanging.
+    fn fail(&self, state: &mut ExecState, message: String) {
+        if state.failure.is_none() {
+            state.failure = Some(message);
+        }
+        self.cv.notify_all();
+    }
+
+    fn abort() -> ! {
+        std::panic::panic_any(ModelAbort)
+    }
+
+    /// Waits for this thread's turn and bumps its clock: the entry point of
+    /// every visible operation. Panics with [`ModelAbort`] once the
+    /// iteration has failed.
+    fn enter_op(&self, me: usize) -> StdMutexGuard<'_, ExecState> {
+        let mut state = self.lock();
+        while state.failure.is_none() && state.active != me {
+            state = self.cv.wait(state).unwrap_or_else(PoisonError::into_inner);
+        }
+        if state.failure.is_some() {
+            drop(state);
+            Execution::abort();
+        }
+        state.steps += 1;
+        if state.steps > state.max_steps {
+            let limit = state.max_steps;
+            self.fail(
+                &mut state,
+                format!(
+                    "exceeded {limit} operations in one iteration (livelock or unbounded model)"
+                ),
+            );
+            drop(state);
+            Execution::abort();
+        }
+        state.threads[me].clock.bump(me);
+        state
+    }
+
+    /// [`Execution::enter_op`] for operations reachable from `Drop` while a
+    /// panic unwinds (mutex unlock, `Arc` release): once the iteration has
+    /// failed it returns `None` instead of panicking, because a second panic
+    /// inside an unwind aborts the whole process. Skipping the op is sound —
+    /// a failed iteration is being torn down, and every still-blocked thread
+    /// aborts at its next operation rather than waiting on this one.
+    fn enter_op_teardown(&self, me: usize) -> Option<StdMutexGuard<'_, ExecState>> {
+        let mut state = self.lock();
+        while state.failure.is_none() && state.active != me {
+            state = self.cv.wait(state).unwrap_or_else(PoisonError::into_inner);
+        }
+        if state.failure.is_some() {
+            return None;
+        }
+        state.steps += 1;
+        if state.steps > state.max_steps {
+            let limit = state.max_steps;
+            self.fail(
+                &mut state,
+                format!(
+                    "exceeded {limit} operations in one iteration (livelock or unbounded model)"
+                ),
+            );
+            return None;
+        }
+        state.threads[me].clock.bump(me);
+        Some(state)
+    }
+
+    /// Picks the thread that performs the next visible operation, replaying
+    /// the schedule prefix and recording fresh decisions past it.
+    fn schedule_next(&self, state: &mut ExecState, me: usize) {
+        let enabled: Vec<usize> = (0..state.threads.len())
+            .filter(|&t| match state.threads[t].status {
+                Status::Runnable => true,
+                Status::BlockedMutex(oid) => {
+                    matches!(state.objects[oid], Object::Mutex { locked_by: None, .. })
+                }
+                Status::BlockedJoin(target) => state.threads[target].status == Status::Finished,
+                Status::BlockedCondvar | Status::Finished => false,
+            })
+            .collect();
+        if enabled.is_empty() {
+            if state.live > 0 {
+                let blocked: Vec<usize> = (0..state.threads.len())
+                    .filter(|&t| state.threads[t].status != Status::Finished)
+                    .collect();
+                self.fail(state, format!("deadlock: threads {blocked:?} are all blocked"));
+            }
+            return;
+        }
+        let me_enabled = enabled.contains(&me);
+        let (next, free, chosen) = if state.cursor < state.replay_len {
+            let d = &state.schedule[state.cursor];
+            let mut expected: Vec<usize> = Vec::with_capacity(enabled.len());
+            if me_enabled {
+                expected.push(me);
+            }
+            expected.extend(enabled.iter().copied().filter(|&t| t != me));
+            if d.candidates != expected {
+                let have = d.candidates.clone();
+                self.fail(
+                    state,
+                    format!(
+                        "schedule divergence while replaying: expected candidates {expected:?}, \
+                         recorded {have:?} — the model is non-deterministic"
+                    ),
+                );
+                return;
+            }
+            (d.candidates[d.chosen], d.free, d.chosen)
+        } else {
+            let mut candidates: Vec<usize> = Vec::with_capacity(enabled.len());
+            if me_enabled {
+                candidates.push(me);
+            }
+            candidates.extend(enabled.iter().copied().filter(|&t| t != me));
+            let next = candidates[0];
+            state.schedule.push(Decision {
+                candidates,
+                chosen: 0,
+                free: !me_enabled,
+                preemptions_before: state.preemptions,
+            });
+            (next, !me_enabled, 0)
+        };
+        if !free && chosen != 0 {
+            state.preemptions += 1;
+        }
+        state.cursor += 1;
+        state.active = next;
+    }
+
+    /// Hands the token to the next scheduled thread: the exit point of every
+    /// visible operation.
+    fn exit_op(&self, state: StdMutexGuard<'_, ExecState>, me: usize) {
+        if self.exit_op_teardown(state, me) {
+            Execution::abort();
+        }
+    }
+
+    /// [`Execution::exit_op`] minus the abort: returns whether the iteration
+    /// has failed, leaving the caller to decide whether panicking is safe.
+    fn exit_op_teardown(&self, mut state: StdMutexGuard<'_, ExecState>, me: usize) -> bool {
+        self.schedule_next(&mut state, me);
+        let failed = state.failure.is_some();
+        let switched = state.active != me;
+        drop(state);
+        if switched || failed {
+            self.cv.notify_all();
+        }
+        failed
+    }
+
+    /// Blocks the current thread with `status` until the scheduler hands the
+    /// token back (which, per the enabled-set rules, implies the blocking
+    /// condition has cleared). Returns with the state lock held.
+    fn block_until_scheduled<'a>(
+        &'a self,
+        mut state: StdMutexGuard<'a, ExecState>,
+        me: usize,
+        status: Status,
+    ) -> StdMutexGuard<'a, ExecState> {
+        state.threads[me].status = status;
+        self.schedule_next(&mut state, me);
+        self.cv.notify_all();
+        while state.failure.is_none() && state.active != me {
+            state = self.cv.wait(state).unwrap_or_else(PoisonError::into_inner);
+        }
+        if state.failure.is_some() {
+            drop(state);
+            Execution::abort();
+        }
+        state.threads[me].status = Status::Runnable;
+        state
+    }
+
+    fn tid(&self) -> usize {
+        let tid = MODEL_TID.with(Cell::get);
+        assert!(tid != NO_TID, "instrumented operation on a thread outside the model");
+        tid
+    }
+
+    // ------------------------------------------------------------------
+    // Object registration
+    // ------------------------------------------------------------------
+
+    /// Allocates a fresh object id in this execution.
+    pub(crate) fn alloc_object(&self, object: Object) -> usize {
+        let mut state = self.lock();
+        state.objects.push(object);
+        state.objects.len() - 1
+    }
+
+    // ------------------------------------------------------------------
+    // Atomics
+    // ------------------------------------------------------------------
+
+    /// The read half of an atomic access: `Acquire` (and stronger) joins the
+    /// location's release clock into the reader. `value` runs inside the
+    /// exclusive window, so the observed value is the one the schedule says
+    /// is current.
+    pub(crate) fn atomic_load<R>(&self, oid: usize, acquire: bool, value: impl FnOnce() -> R) -> R {
+        let me = self.tid();
+        let mut state = self.enter_op(me);
+        if acquire {
+            let Object::Atomic { release } = &state.objects[oid] else { unreachable!() };
+            let release = release.clone();
+            state.threads[me].clock.join(&release);
+        }
+        let result = value();
+        self.exit_op(state, me);
+        result
+    }
+
+    /// The write half of a plain atomic store: `Release` (and stronger)
+    /// publishes the writer's clock, `Relaxed` clears the release sequence.
+    pub(crate) fn atomic_store(&self, oid: usize, release: bool, value: impl FnOnce()) {
+        let me = self.tid();
+        let mut state = self.enter_op(me);
+        let clock = state.threads[me].clock.clone();
+        let Object::Atomic { release: rel } = &mut state.objects[oid] else { unreachable!() };
+        if release {
+            *rel = clock;
+        } else {
+            rel.clear();
+        }
+        value();
+        self.exit_op(state, me);
+    }
+
+    /// A read-modify-write: the acquire half joins, the release half
+    /// *extends* the release sequence (a relaxed RMW leaves it intact, as in
+    /// C11 release sequences). `value` performs the actual RMW inside the
+    /// exclusive window, making RMW claim order identical to schedule order.
+    pub(crate) fn atomic_rmw<R>(
+        &self,
+        oid: usize,
+        acquire: bool,
+        release: bool,
+        value: impl FnOnce() -> R,
+    ) -> R {
+        let me = self.tid();
+        let mut state = self.enter_op(me);
+        if acquire {
+            let Object::Atomic { release } = &state.objects[oid] else { unreachable!() };
+            let clock = release.clone();
+            state.threads[me].clock.join(&clock);
+        }
+        if release {
+            let clock = state.threads[me].clock.clone();
+            let Object::Atomic { release: rel } = &mut state.objects[oid] else { unreachable!() };
+            rel.join(&clock);
+        }
+        let result = value();
+        self.exit_op(state, me);
+        result
+    }
+
+    // ------------------------------------------------------------------
+    // UnsafeCell race detection
+    // ------------------------------------------------------------------
+
+    /// Records a cell access and fails the model if a conflicting earlier
+    /// access does not happen-before it. The access closure `f` runs inside
+    /// the exclusive window, so concurrent closures never overlap for real —
+    /// the *race* is detected causally, via the clocks.
+    pub(crate) fn cell_access<R>(
+        &self,
+        oid: usize,
+        write: bool,
+        type_name: &str,
+        f: impl FnOnce() -> R,
+    ) -> R {
+        let me = self.tid();
+        let mut state = self.enter_op(me);
+        let my_clock = state.threads[me].clock.clone();
+        let my_component = my_clock.get(me);
+        let Object::Cell { writes, reads } = &mut state.objects[oid] else { unreachable!() };
+        let race = if write {
+            !writes.le(&my_clock) || !reads.le(&my_clock)
+        } else {
+            !writes.le(&my_clock)
+        };
+        if race {
+            let kind = if write { "write" } else { "read" };
+            let msg = format!(
+                "data race: unsynchronized {kind} of UnsafeCell<{type_name}> — a prior \
+                 conflicting access does not happen-before it"
+            );
+            self.fail(&mut state, msg);
+            drop(state);
+            Execution::abort();
+        }
+        if write {
+            writes.set(me, my_component);
+        } else {
+            reads.set(me, my_component);
+        }
+        let result = f();
+        self.exit_op(state, me);
+        result
+    }
+
+    // ------------------------------------------------------------------
+    // Mutex / Condvar
+    // ------------------------------------------------------------------
+
+    pub(crate) fn mutex_lock(&self, oid: usize) {
+        let me = self.tid();
+        let mut state = self.enter_op(me);
+        let held = {
+            let Object::Mutex { locked_by, .. } = &state.objects[oid] else { unreachable!() };
+            locked_by.is_some()
+        };
+        if held {
+            state = self.block_until_scheduled(state, me, Status::BlockedMutex(oid));
+        }
+        let Object::Mutex { locked_by, clock } = &mut state.objects[oid] else { unreachable!() };
+        debug_assert!(locked_by.is_none(), "scheduler handed the token to a blocked locker");
+        *locked_by = Some(me);
+        let clock = clock.clone();
+        state.threads[me].clock.join(&clock);
+        self.exit_op(state, me);
+    }
+
+    /// Runs from `MutexGuard::drop`, possibly mid-unwind, so it must never
+    /// panic: a failed iteration skips the op instead of aborting.
+    pub(crate) fn mutex_unlock(&self, oid: usize) {
+        let me = self.tid();
+        let Some(mut state) = self.enter_op_teardown(me) else { return };
+        let my_clock = state.threads[me].clock.clone();
+        let Object::Mutex { locked_by, clock } = &mut state.objects[oid] else { unreachable!() };
+        *locked_by = None;
+        clock.join(&my_clock);
+        let _ = self.exit_op_teardown(state, me);
+    }
+
+    /// Releases `mutex_oid`, parks on `cv_oid` until notified, reacquires.
+    /// No spurious wakeups are modelled: a parked thread runs again only
+    /// after a notify (a deliberate, documented simplification).
+    pub(crate) fn condvar_wait(&self, cv_oid: usize, mutex_oid: usize) {
+        let me = self.tid();
+        let mut state = self.enter_op(me);
+        let my_clock = state.threads[me].clock.clone();
+        {
+            let Object::Mutex { locked_by, clock } = &mut state.objects[mutex_oid] else {
+                unreachable!()
+            };
+            *locked_by = None;
+            clock.join(&my_clock);
+        }
+        {
+            let Object::Condvar { waiters } = &mut state.objects[cv_oid] else { unreachable!() };
+            waiters.push((me, mutex_oid));
+        }
+        state = self.block_until_scheduled(state, me, Status::BlockedCondvar);
+        // Scheduled again: notified and the mutex is free — reacquire.
+        let Object::Mutex { locked_by, clock } = &mut state.objects[mutex_oid] else {
+            unreachable!()
+        };
+        debug_assert!(locked_by.is_none());
+        *locked_by = Some(me);
+        let clock = clock.clone();
+        state.threads[me].clock.join(&clock);
+        self.exit_op(state, me);
+    }
+
+    /// Wakes the longest-parked waiter (`all == false`) or every waiter:
+    /// woken threads move to the blocked-on-mutex state and become
+    /// schedulable once their mutex frees up.
+    pub(crate) fn condvar_notify(&self, cv_oid: usize, all: bool) {
+        let me = self.tid();
+        let mut state = self.enter_op(me);
+        let woken: Vec<(usize, usize)> = {
+            let Object::Condvar { waiters } = &mut state.objects[cv_oid] else { unreachable!() };
+            if all {
+                std::mem::take(waiters)
+            } else if waiters.is_empty() {
+                Vec::new()
+            } else {
+                vec![waiters.remove(0)]
+            }
+        };
+        for (tid, mutex_oid) in woken {
+            state.threads[tid].status = Status::BlockedMutex(mutex_oid);
+        }
+        self.exit_op(state, me);
+    }
+
+    // ------------------------------------------------------------------
+    // Arc clocks
+    // ------------------------------------------------------------------
+
+    /// A handle drop releases the dropper's clock into the control block;
+    /// the final drop acquires the joined clock before tearing down. Runs
+    /// from `Arc::drop`, possibly mid-unwind, so it must never panic.
+    pub(crate) fn arc_drop(&self, oid: usize, last: bool) {
+        let me = self.tid();
+        let Some(mut state) = self.enter_op_teardown(me) else { return };
+        let my_clock = state.threads[me].clock.clone();
+        let Object::Arc { clock } = &mut state.objects[oid] else { unreachable!() };
+        clock.join(&my_clock);
+        if last {
+            let clock = clock.clone();
+            state.threads[me].clock.join(&clock);
+        }
+        let _ = self.exit_op_teardown(state, me);
+    }
+
+    // ------------------------------------------------------------------
+    // Threads
+    // ------------------------------------------------------------------
+
+    /// Registers a new model thread (clock-seeded from the spawner) and
+    /// returns its id. The spawner performs the visible operation.
+    pub(crate) fn spawn_thread(self: &Arc<Self>, body: Box<dyn FnOnce() + Send>) -> usize {
+        let me = self.tid();
+        let mut state = self.enter_op(me);
+        let mut clock = state.threads[me].clock.clone();
+        let tid = state.threads.len();
+        clock.bump(tid);
+        state.threads.push(ThreadState { status: Status::Runnable, clock });
+        state.live += 1;
+        let exec = Arc::clone(self);
+        let handle = std::thread::Builder::new()
+            .name(format!("loom-model-{tid}"))
+            .spawn(move || {
+                register_current(&exec, tid);
+                let outcome = catch_unwind(AssertUnwindSafe(body));
+                deregister_current();
+                exec.finish_thread(tid, outcome.err());
+            })
+            .expect("spawning a model thread");
+        state.handles.push(handle);
+        self.exit_op(state, me);
+        tid
+    }
+
+    /// Marks a model thread finished. A *normal* completion is itself a
+    /// visible operation — the thread waits for the token one last time, so
+    /// the point where it leaves every enabled set is a schedule decision,
+    /// not an OS-timing accident (which would make replay diverge). A
+    /// panicking completion skips the wait: the iteration is failing (or,
+    /// for a fresh non-[`ModelAbort`] payload, about to be failed right
+    /// here), and teardown must not block.
+    fn finish_thread(&self, me: usize, panic: Option<Box<dyn std::any::Any + Send>>) {
+        let mut state = self.lock();
+        if let Some(payload) = panic {
+            state.threads[me].status = Status::Finished;
+            state.live -= 1;
+            if !payload.is::<ModelAbort>() && state.failure.is_none() {
+                state.failure =
+                    Some(format!("model thread {me} panicked: {}", payload_text(payload.as_ref())));
+                state.payload = Some(payload);
+            }
+            drop(state);
+            self.cv.notify_all();
+            return;
+        }
+        while state.failure.is_none() && state.active != me {
+            state = self.cv.wait(state).unwrap_or_else(PoisonError::into_inner);
+        }
+        state.threads[me].status = Status::Finished;
+        state.live -= 1;
+        if state.failure.is_none() && state.live > 0 {
+            // `me` is already Finished, so this is a forced (free) switch.
+            self.schedule_next(&mut state, me);
+        }
+        drop(state);
+        self.cv.notify_all();
+    }
+
+    /// Blocks the joining thread until `target` finishes, then joins its
+    /// clock (the join synchronization edge).
+    pub(crate) fn join_thread(&self, target: usize) {
+        let me = self.tid();
+        let mut state = self.enter_op(me);
+        if state.threads[target].status != Status::Finished {
+            state = self.block_until_scheduled(state, me, Status::BlockedJoin(target));
+        }
+        let clock = state.threads[target].clock.clone();
+        state.threads[me].clock.join(&clock);
+        self.exit_op(state, me);
+    }
+
+    /// Called by the runner after the model closure returns: finish thread 0
+    /// (as a visible operation, same as [`Execution::finish_thread`]) and
+    /// wait for every spawned thread to exit the iteration.
+    fn main_finish(&self) {
+        {
+            let mut state = self.lock();
+            while state.failure.is_none() && state.active != 0 {
+                state = self.cv.wait(state).unwrap_or_else(PoisonError::into_inner);
+            }
+            state.threads[0].status = Status::Finished;
+            state.live -= 1;
+            if state.failure.is_none() && state.live > 0 {
+                self.schedule_next(&mut state, 0);
+            }
+            drop(state);
+            self.cv.notify_all();
+        }
+        let mut state = self.lock();
+        while state.live > 0 {
+            state = self.cv.wait(state).unwrap_or_else(PoisonError::into_inner);
+        }
+        let handles = std::mem::take(&mut state.handles);
+        drop(state);
+        for handle in handles {
+            let _ = handle.join();
+        }
+    }
+}
+
+fn payload_text(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string payload>".to_string()
+    }
+}
+
+/// Advances the schedule depth-first: bumps the deepest decision that still
+/// has an untried, budget-respecting alternative and truncates everything
+/// after it. Returns `None` when the bounded space is exhausted.
+fn advance(mut schedule: Vec<Decision>, bound: usize) -> Option<Vec<Decision>> {
+    while let Some(d) = schedule.last_mut() {
+        let next = d.chosen + 1;
+        if next < d.candidates.len() && (d.free || d.preemptions_before < bound) {
+            d.chosen = next;
+            return Some(schedule);
+        }
+        schedule.pop();
+    }
+    None
+}
+
+/// Exploration statistics returned by [`Builder::check`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Stats {
+    /// Number of complete executions (schedules) explored.
+    pub iterations: usize,
+}
+
+/// Configures a model-checking run. The defaults (two preemptions, a large
+/// iteration cap) suit small protocol models; the canary tests pin the
+/// resulting iteration counts so these knobs cannot drift silently.
+#[derive(Debug, Clone, Copy)]
+pub struct Builder {
+    /// Maximum voluntary context switches per schedule (forced switches are
+    /// free). CHESS-style small-bound exploration.
+    pub preemption_bound: usize,
+    /// Hard cap on explored schedules; exceeding it panics rather than
+    /// silently truncating coverage.
+    pub max_iterations: usize,
+    /// Hard cap on visible operations within one schedule (livelock guard).
+    pub max_steps: usize,
+}
+
+impl Default for Builder {
+    fn default() -> Self {
+        Builder { preemption_bound: 2, max_iterations: 1_000_000, max_steps: 100_000 }
+    }
+}
+
+impl Builder {
+    /// Explores `f` under every schedule within the preemption bound,
+    /// propagating the first failure (data race, deadlock, assertion or
+    /// other panic) with its diagnostic.
+    pub fn check<F: Fn()>(&self, f: F) -> Stats {
+        assert!(
+            current().is_none(),
+            "loom models cannot be nested: already inside a model on this thread"
+        );
+        let mut prefix: Vec<Decision> = Vec::new();
+        let mut iterations = 0usize;
+        loop {
+            iterations += 1;
+            assert!(
+                iterations <= self.max_iterations,
+                "loom: exceeded {} iterations — the model is too large for exhaustive \
+                 exploration at preemption bound {}",
+                self.max_iterations,
+                self.preemption_bound
+            );
+            let exec = Arc::new(Execution::new(prefix, self.max_steps));
+            register_current(&exec, 0);
+            let outcome = catch_unwind(AssertUnwindSafe(&f));
+            exec.main_finish();
+            deregister_current();
+            let mut state = exec.lock();
+            if let Err(payload) = outcome {
+                if !payload.is::<ModelAbort>() && state.failure.is_none() {
+                    state.failure =
+                        Some(format!("model panicked: {}", payload_text(payload.as_ref())));
+                    state.payload = Some(payload);
+                }
+            }
+            if state.failure.is_some() {
+                let message = state.failure.take().unwrap();
+                let payload = state.payload.take();
+                drop(state);
+                eprintln!("loom: failing schedule found after {iterations} iteration(s)");
+                match payload {
+                    Some(payload) => resume_unwind(payload),
+                    None => panic!("{message}"),
+                }
+            }
+            let schedule = std::mem::take(&mut state.schedule);
+            drop(state);
+            match advance(schedule, self.preemption_bound) {
+                Some(next) => prefix = next,
+                None => return Stats { iterations },
+            }
+        }
+    }
+}

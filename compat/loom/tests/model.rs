@@ -1,0 +1,322 @@
+//! Selftests for the vendored model checker: the checker must both *accept*
+//! correct protocols and *reject* the canonical broken ones with the right
+//! diagnostic, otherwise the pool suite in `tests/tests/loom_pool.rs` proves
+//! nothing.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize as StdAtomicUsize, Ordering as StdOrdering};
+
+use loom::cell::UnsafeCell;
+use loom::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use loom::sync::{Arc, Condvar, Mutex};
+
+/// Runs `f` expecting the model to fail, with the default panic hook
+/// silenced so the *intentional* failure does not spam the test log, and
+/// returns the failure message.
+fn model_failure<F: Fn() + 'static>(f: F) -> String {
+    let hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+    let outcome = catch_unwind(AssertUnwindSafe(|| loom::model(f)));
+    std::panic::set_hook(hook);
+    let payload = outcome.expect_err("the model should have failed");
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        panic!("model failure carried a non-string payload");
+    }
+}
+
+#[test]
+fn release_acquire_publication_is_accepted() {
+    loom::model(|| {
+        let slot = Arc::new(UnsafeCell::new(0u64));
+        let ready = Arc::new(AtomicBool::new(false));
+        let writer = {
+            let slot = Arc::clone(&slot);
+            let ready = Arc::clone(&ready);
+            loom::thread::spawn(move || {
+                // SAFETY: the cell is written before `ready` is released and
+                // only read after an acquire of `ready`; the model verifies
+                // exactly this ordering.
+                slot.with_mut(|p| unsafe { *p = 42 });
+                ready.store(true, Ordering::Release);
+            })
+        };
+        if ready.load(Ordering::Acquire) {
+            // SAFETY: guarded by the acquire-load of `ready` above.
+            let value = slot.with(|p| unsafe { *p });
+            assert_eq!(value, 42);
+        }
+        writer.join().unwrap();
+    });
+}
+
+#[test]
+fn relaxed_publication_race_is_caught() {
+    let message = model_failure(|| {
+        let slot = Arc::new(UnsafeCell::new(0u64));
+        let ready = Arc::new(AtomicBool::new(false));
+        let writer = {
+            let slot = Arc::clone(&slot);
+            let ready = Arc::clone(&ready);
+            loom::thread::spawn(move || {
+                // SAFETY: intentionally broken — the Relaxed store below
+                // publishes no ordering, which the checker must report.
+                slot.with_mut(|p| unsafe { *p = 42 });
+                ready.store(true, Ordering::Relaxed);
+            })
+        };
+        if ready.load(Ordering::Acquire) {
+            // SAFETY: intentionally racy read; see above.
+            slot.with(|p| unsafe { *p });
+        }
+        writer.join().unwrap();
+    });
+    assert!(message.contains("data race"), "unexpected diagnostic: {message}");
+}
+
+#[test]
+fn relaxed_load_of_release_store_race_is_caught() {
+    let message = model_failure(|| {
+        let slot = Arc::new(UnsafeCell::new(0u64));
+        let ready = Arc::new(AtomicBool::new(false));
+        let writer = {
+            let slot = Arc::clone(&slot);
+            let ready = Arc::clone(&ready);
+            loom::thread::spawn(move || {
+                // SAFETY: intentionally broken — the reader side uses
+                // Relaxed, so this release edge is never acquired.
+                slot.with_mut(|p| unsafe { *p = 42 });
+                ready.store(true, Ordering::Release);
+            })
+        };
+        if ready.load(Ordering::Relaxed) {
+            // SAFETY: intentionally racy read; see above.
+            slot.with(|p| unsafe { *p });
+        }
+        writer.join().unwrap();
+    });
+    assert!(message.contains("data race"), "unexpected diagnostic: {message}");
+}
+
+#[test]
+fn rmw_modification_order_is_total() {
+    loom::model(|| {
+        let counter = Arc::new(AtomicUsize::new(0));
+        let handles: Vec<_> = (0..2)
+            .map(|_| {
+                let counter = Arc::clone(&counter);
+                loom::thread::spawn(move || counter.fetch_add(1, Ordering::Relaxed))
+            })
+            .collect();
+        let mut observed: Vec<usize> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        observed.sort_unstable();
+        // Each RMW observes a distinct previous value: no lost updates.
+        assert_eq!(observed, vec![0, 1]);
+        assert_eq!(counter.load(Ordering::Acquire), 2);
+    });
+}
+
+#[test]
+fn swap_claim_is_exactly_once() {
+    loom::model(|| {
+        let claimed = Arc::new(AtomicBool::new(false));
+        let wins = Arc::new(AtomicUsize::new(0));
+        let handles: Vec<_> = (0..2)
+            .map(|_| {
+                let claimed = Arc::clone(&claimed);
+                let wins = Arc::clone(&wins);
+                loom::thread::spawn(move || {
+                    if !claimed.swap(true, Ordering::AcqRel) {
+                        wins.fetch_add(1, Ordering::AcqRel);
+                    }
+                })
+            })
+            .collect();
+        for handle in handles {
+            handle.join().unwrap();
+        }
+        assert_eq!(wins.load(Ordering::Acquire), 1);
+    });
+}
+
+#[test]
+fn mutex_increments_never_lose_updates() {
+    loom::model(|| {
+        let counter = Arc::new(Mutex::new(0u32));
+        let handles: Vec<_> = (0..2)
+            .map(|_| {
+                let counter = Arc::clone(&counter);
+                loom::thread::spawn(move || {
+                    let mut guard = counter.lock().unwrap();
+                    *guard += 1;
+                })
+            })
+            .collect();
+        for handle in handles {
+            handle.join().unwrap();
+        }
+        assert_eq!(*counter.lock().unwrap(), 2);
+    });
+}
+
+#[test]
+fn condvar_predicate_wait_is_never_lost() {
+    loom::model(|| {
+        let pair = Arc::new((Mutex::new(false), Condvar::new()));
+        let notifier = {
+            let pair = Arc::clone(&pair);
+            loom::thread::spawn(move || {
+                let (flag, cv) = (&pair.0, &pair.1);
+                *flag.lock().unwrap() = true;
+                cv.notify_one();
+            })
+        };
+        let (flag, cv) = (&pair.0, &pair.1);
+        let mut guard = flag.lock().unwrap();
+        while !*guard {
+            guard = cv.wait(guard).unwrap();
+        }
+        drop(guard);
+        notifier.join().unwrap();
+    });
+}
+
+#[test]
+fn abba_deadlock_is_detected() {
+    let message = model_failure(|| {
+        let locks = Arc::new((Mutex::new(()), Mutex::new(())));
+        let forward = {
+            let locks = Arc::clone(&locks);
+            loom::thread::spawn(move || {
+                let _a = locks.0.lock().unwrap();
+                let _b = locks.1.lock().unwrap();
+            })
+        };
+        let backward = {
+            let locks = Arc::clone(&locks);
+            loom::thread::spawn(move || {
+                let _b = locks.1.lock().unwrap();
+                let _a = locks.0.lock().unwrap();
+            })
+        };
+        forward.join().unwrap();
+        backward.join().unwrap();
+    });
+    assert!(message.contains("deadlock"), "unexpected diagnostic: {message}");
+}
+
+#[test]
+fn thread_panic_is_reported_with_its_payload() {
+    let message = model_failure(|| {
+        let worker = loom::thread::spawn(|| panic!("boom from a model thread"));
+        let _ = worker.join();
+    });
+    assert!(message.contains("boom from a model thread"), "unexpected diagnostic: {message}");
+}
+
+#[test]
+fn unsynchronized_cell_writes_race() {
+    let message = model_failure(|| {
+        let slot = Arc::new(UnsafeCell::new(0u64));
+        let writer = {
+            let slot = Arc::clone(&slot);
+            // SAFETY: intentionally racy concurrent writes; the test asserts
+            // the checker reports them.
+            loom::thread::spawn(move || slot.with_mut(|p| unsafe { *p = 1 }))
+        };
+        // SAFETY: intentionally racy; see above.
+        slot.with_mut(|p| unsafe { *p = 2 });
+        writer.join().unwrap();
+    });
+    assert!(message.contains("data race"), "unexpected diagnostic: {message}");
+}
+
+/// Scheduler-regression canaries: the pinned iteration counts are the size
+/// of the bounded schedule space for two tiny fixed models. A scheduler or
+/// bounding change that silently *shrinks* exploration would show up here as
+/// a smaller count (and a larger one as more). Update deliberately, never to
+/// make CI pass.
+#[test]
+fn exploration_canary_two_increments() {
+    let stats = loom::Builder::default().check(|| {
+        let counter = Arc::new(AtomicUsize::new(0));
+        let handles: Vec<_> = (0..2)
+            .map(|_| {
+                let counter = Arc::clone(&counter);
+                loom::thread::spawn(move || {
+                    counter.fetch_add(1, Ordering::AcqRel);
+                })
+            })
+            .collect();
+        for handle in handles {
+            handle.join().unwrap();
+        }
+        assert_eq!(counter.load(Ordering::Acquire), 2);
+    });
+    assert_eq!(stats.iterations, CANARY_TWO_INCREMENTS);
+}
+
+/// See `exploration_canary_two_increments`.
+#[test]
+fn exploration_canary_publication() {
+    let stats = loom::Builder::default().check(|| {
+        let slot = Arc::new(UnsafeCell::new(0u64));
+        let ready = Arc::new(AtomicBool::new(false));
+        let writer = {
+            let slot = Arc::clone(&slot);
+            let ready = Arc::clone(&ready);
+            loom::thread::spawn(move || {
+                // SAFETY: release-published below, acquire-guarded read.
+                slot.with_mut(|p| unsafe { *p = 7 });
+                ready.store(true, Ordering::Release);
+            })
+        };
+        if ready.load(Ordering::Acquire) {
+            // SAFETY: guarded by the acquire load above.
+            slot.with(|p| unsafe { *p });
+        }
+        writer.join().unwrap();
+    });
+    assert_eq!(stats.iterations, CANARY_PUBLICATION);
+}
+
+/// Pinned schedule-space sizes for the canary models (see above), at the
+/// default preemption bound of 2.
+const CANARY_TWO_INCREMENTS: usize = 69;
+const CANARY_PUBLICATION: usize = 11;
+
+/// Outside a model every wrapper degrades to the std primitive.
+#[test]
+fn passthrough_outside_model() {
+    let flag = AtomicBool::new(false);
+    assert!(!flag.swap(true, Ordering::AcqRel));
+    assert!(flag.load(Ordering::Acquire));
+    let counter = AtomicUsize::new(3);
+    assert_eq!(counter.fetch_add(2, Ordering::AcqRel), 3);
+    counter.store(9, Ordering::Release);
+    assert_eq!(counter.load(Ordering::Acquire), 9);
+
+    let lock = Mutex::new(5u32);
+    *lock.lock().unwrap() += 1;
+    assert_eq!(*lock.lock().unwrap(), 6);
+
+    let cell = UnsafeCell::new(1u8);
+    // SAFETY: single-threaded passthrough access.
+    cell.with_mut(|p| unsafe { *p = 2 });
+    // SAFETY: single-threaded passthrough access.
+    assert_eq!(cell.with(|p| unsafe { *p }), 2);
+    assert_eq!(cell.into_inner(), 2);
+}
+
+/// `StdAtomicUsize` is deliberately usable alongside the instrumented types
+/// (e.g. out-of-model bookkeeping inside a test); make sure the import isn't
+/// shadowed by the loom preludes.
+#[test]
+fn std_atomics_coexist() {
+    let plain = StdAtomicUsize::new(0);
+    plain.fetch_add(1, StdOrdering::Relaxed);
+    assert_eq!(plain.load(StdOrdering::Relaxed), 1);
+}

@@ -149,6 +149,9 @@ impl JobFailpoints {
         if !self.plan.is_active() {
             return;
         }
+        // ordering: `Relaxed` — a private event counter driving the fault
+        // schedule; nothing is published through it, and the RMW total order
+        // alone keeps the counts distinct across participants.
         let count = self.chunks.fetch_add(1, Ordering::Relaxed) + 1;
         if self.plan.delay_every > 0 && count.is_multiple_of(self.plan.delay_every) {
             std::thread::sleep(Duration::from_micros(self.plan.delay_micros));

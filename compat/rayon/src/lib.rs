@@ -31,6 +31,7 @@
 
 pub mod failpoints;
 pub mod pool;
+mod sync;
 
 use std::mem::ManuallyDrop;
 use std::ops::Range;

@@ -64,13 +64,13 @@
 //! panic storms exercise exactly the recovery path above.
 
 use std::any::Any;
-use std::cell::{Cell, UnsafeCell};
-use std::mem::{ManuallyDrop, MaybeUninit};
+use std::cell::Cell;
+use std::mem::MaybeUninit;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::{Condvar, Mutex, OnceLock};
+use std::sync::OnceLock;
 
 use crate::failpoints::JobFailpoints;
+use crate::sync::{AtomicBool, AtomicUsize, Condvar, Mutex, Ordering, UnsafeCell};
 
 /// Environment variable pinning the pool size (total participants, counting
 /// the calling thread). Read once, at first use of the pool; values that do
@@ -81,8 +81,10 @@ pub const THREADS_ENV: &str = "AVG_LOCAL_THREADS";
 const MAX_THREADS: usize = 512;
 
 /// Pool size requested by [`crate::ThreadPoolBuilder::build_global`] before
-/// the pool was initialised (0 = no request).
-static REQUESTED_THREADS: AtomicUsize = AtomicUsize::new(0);
+/// the pool was initialised (0 = no request). Deliberately a `std` atomic,
+/// not a `crate::sync` one: this is pool *configuration*, outside the
+/// protocol the loom model checks.
+static REQUESTED_THREADS: std::sync::atomic::AtomicUsize = std::sync::atomic::AtomicUsize::new(0);
 
 /// Records a builder request for the global pool size and initialises the
 /// pool eagerly (like upstream rayon's `build_global`), so success means
@@ -95,7 +97,11 @@ static REQUESTED_THREADS: AtomicUsize = AtomicUsize::new(0);
 pub(crate) fn request_threads(threads: usize) -> Result<(), usize> {
     let clamped = threads.clamp(1, MAX_THREADS);
     if POOL.get().is_none() {
-        REQUESTED_THREADS.store(clamped, Ordering::Relaxed);
+        // ordering: `Relaxed` is sufficient: `OnceLock` initialisation
+        // serialises the read in `resolve_thread_count` against this store,
+        // and success is decided by re-reading the truth below, not by the
+        // store having won.
+        REQUESTED_THREADS.store(clamped, std::sync::atomic::Ordering::Relaxed);
     }
     // `OnceLock` serialises initialisation: either our request (stored
     // above) wins, or someone else's resolution did — read the truth back.
@@ -114,7 +120,10 @@ pub(crate) fn num_threads() -> usize {
 }
 
 fn resolve_thread_count() -> usize {
-    let requested = REQUESTED_THREADS.load(Ordering::Relaxed);
+    // ordering: `Relaxed` is sufficient: only the integer itself is read;
+    // the `OnceLock` in `shared()` provides the happens-before edge to
+    // whichever thread ends up initialising the pool.
+    let requested = REQUESTED_THREADS.load(std::sync::atomic::Ordering::Relaxed);
     if requested > 0 {
         return requested;
     }
@@ -129,7 +138,13 @@ fn resolve_thread_count() -> usize {
 }
 
 /// State shared between the workers and every caller.
-struct Shared {
+///
+/// Normally there is exactly one, global, lazily-started instance (see
+/// `run_chunked` / `join`), but the struct is deliberately constructible
+/// on its own: the loom suite builds a local `Shared` per model iteration
+/// and drives the *same* job protocol against it through [`run_chunked_on`],
+/// [`join_on`], and [`worker_step`].
+pub struct Shared {
     /// Total participants: `threads - 1` workers plus the calling thread.
     threads: usize,
     /// Jobs currently accepting helpers, newest last.
@@ -138,14 +153,24 @@ struct Shared {
     work_available: Condvar,
 }
 
+impl Shared {
+    /// A fresh, isolated pool state for `threads` participants. Spawns no
+    /// workers: callers participate inline, and additional participants are
+    /// driven explicitly with [`worker_step`] (as the loom models do) or by
+    /// a surrounding `worker_loop`.
+    pub fn with_threads(threads: usize) -> Shared {
+        Shared {
+            threads: threads.max(1),
+            injector: Mutex::new(Vec::new()),
+            work_available: Condvar::new(),
+        }
+    }
+}
+
 static POOL: OnceLock<Shared> = OnceLock::new();
 
 fn shared() -> &'static Shared {
-    let shared = POOL.get_or_init(|| Shared {
-        threads: resolve_thread_count(),
-        injector: Mutex::new(Vec::new()),
-        work_available: Condvar::new(),
-    });
+    let shared = POOL.get_or_init(|| Shared::with_threads(resolve_thread_count()));
     static WORKERS_STARTED: OnceLock<()> = OnceLock::new();
     WORKERS_STARTED.get_or_init(|| {
         for index in 1..shared.threads {
@@ -172,9 +197,13 @@ struct JobRef {
     data: *const (),
     /// Registers the calling worker as a participant; called under the
     /// injector lock. Returns `false` when the job has no work left.
+    // SAFETY: callers must pass the `data` of the same `JobRef` while the
+    // owning stack frame is live (the enter/inside protocol guarantees it).
     enter: unsafe fn(*const ()) -> bool,
     /// Claims and processes chunks until none remain, then deregisters the
     /// participant. Called *without* the injector lock.
+    // SAFETY: same contract as `enter`, plus the caller must have obtained
+    // `true` from `enter` for this job first.
     run: unsafe fn(*const (), usize),
 }
 
@@ -183,24 +212,50 @@ struct JobRef {
 // and the enter/inside protocol bounds the pointer's lifetime.
 unsafe impl Send for JobRef {}
 
+/// Scans the injector for a job with work left, newest (deepest nesting
+/// level) first, dropping exhausted entries on the way. The caller must hold
+/// the injector lock: entering under it is what guarantees that a caller who
+/// later removes the job from the injector observes the incremented `inside`.
+fn pick_job(queue: &mut Vec<JobRef>) -> Option<JobRef> {
+    while let Some(&job) = queue.last() {
+        // SAFETY: the ref was found in the injector under the lock, so
+        // its caller has not returned (removal precedes return).
+        if unsafe { (job.enter)(job.data) } {
+            return Some(job);
+        }
+        queue.pop();
+    }
+    None
+}
+
+/// One bounded worker iteration against `shared`: pick up at most one job
+/// from the injector (entering under the lock) and run it to exhaustion
+/// (without the lock). Returns whether a job was run.
+///
+/// This is `worker_loop` minus the blocking wait — the loom suite drives
+/// model workers through it so every iteration of a model terminates, while
+/// exercising exactly the enter/run scan the real workers use.
+pub fn worker_step(shared: &Shared, index: usize) -> bool {
+    let mut queue = shared.injector.lock().expect("pool injector poisoned");
+    let picked = pick_job(&mut queue);
+    drop(queue);
+    match picked {
+        Some(job) => {
+            // SAFETY: this worker is registered in the job's `inside`
+            // count (by `enter`), so the caller waits for it before
+            // returning.
+            unsafe { (job.run)(job.data, index) };
+            true
+        }
+        None => false,
+    }
+}
+
 fn worker_loop(shared: &'static Shared, index: usize) {
     PARTICIPANT_INDEX.with(|cell| cell.set(index));
     let mut queue = shared.injector.lock().expect("pool injector poisoned");
     loop {
-        // Prefer the newest job (deepest nesting level) and drop exhausted
-        // entries on the way; entering happens under the injector lock so a
-        // caller that later removes the job is guaranteed to see `inside`.
-        let mut picked = None;
-        while let Some(&job) = queue.last() {
-            // SAFETY: the ref was found in the injector under the lock, so
-            // its caller has not returned (removal precedes return).
-            if unsafe { (job.enter)(job.data) } {
-                picked = Some(job);
-                break;
-            }
-            queue.pop();
-        }
-        match picked {
+        match pick_job(&mut queue) {
             Some(job) => {
                 drop(queue);
                 // SAFETY: this worker is registered in the job's `inside`
@@ -263,6 +318,12 @@ where
     /// enter/remove/wait protocol).
     unsafe fn participate(&self, index: usize) {
         loop {
+            // ordering: `Relaxed` is sufficient: fetch_adds on one atomic
+            // form a single total modification order, so every index is
+            // handed out exactly once no matter how claims interleave; the
+            // results written for those indices reach the caller through
+            // the `sync` mutex, not through the cursor. Verified by the
+            // loom model (`loom_pool.rs`).
             let start = self.cursor.fetch_add(self.chunk, Ordering::Relaxed);
             if start >= self.len {
                 break;
@@ -274,13 +335,24 @@ where
             let done_in_chunk = Cell::new(0usize);
             let outcome = catch_unwind(AssertUnwindSafe(|| {
                 self.failpoints.before_chunk();
-                // SAFETY: only this participant touches slot `index`,
-                // and every claimed output index is written exactly once.
-                let slot = unsafe { &mut *(*self.states.add(index)).get() };
-                let state = slot.get_or_insert_with(|| unsafe { (*self.init)() });
+                // SAFETY: only this participant touches state slot `index`
+                // (workers use their unique pool index, the caller its own),
+                // so the access is exclusive; the raw pointer stays valid
+                // and ours for the whole chunk.
+                let state = unsafe { &*self.states.add(index) }.with_mut(|slot| {
+                    // SAFETY: exclusive per-participant slot, see above.
+                    let slot = unsafe { &mut *slot };
+                    std::ptr::from_mut::<S>(slot.get_or_insert_with(|| unsafe { (*self.init)() }))
+                });
                 for i in start..end {
-                    let value = unsafe { (*self.work)(state, i) };
-                    unsafe { (*self.outputs.add(i)).get().write(MaybeUninit::new(value)) };
+                    // SAFETY: `state` is this participant's private slot.
+                    let value = unsafe { (*self.work)(&mut *state, i) };
+                    // SAFETY: index `i` was claimed from the cursor exactly
+                    // once, so this is the slot's only write ever.
+                    unsafe { &*self.outputs.add(i) }.with_mut(|out| {
+                        // SAFETY: same exactly-once claim as above.
+                        unsafe { *out = MaybeUninit::new(value) };
+                    });
                     done_in_chunk.set(done_in_chunk.get() + 1);
                 }
             }));
@@ -309,6 +381,11 @@ where
 }
 
 /// `JobRef::enter` for a [`ChunkJob`].
+///
+/// # Safety
+///
+/// `data` must point at the live [`ChunkJob`] this `JobRef` was built from,
+/// and the caller must hold the injector lock.
 unsafe fn chunk_enter<S, R, G, F>(data: *const ()) -> bool
 where
     G: Fn() -> S + Sync,
@@ -316,6 +393,11 @@ where
 {
     // SAFETY: called under the injector lock on a listed job (see JobRef).
     let job = unsafe { &*data.cast::<ChunkJob<S, R, G, F>>() };
+    // ordering: `Relaxed` is sufficient: this is a conservative has-work
+    // probe. The cursor only grows, so a stale low read merely admits a
+    // worker whose first claim then finds nothing; job-lifetime correctness
+    // rests on the `inside` count under the `sync` mutex, not on this load.
+    // Verified by the loom model (`loom_pool.rs`).
     if job.cursor.load(Ordering::Relaxed) >= job.len {
         return false;
     }
@@ -324,6 +406,11 @@ where
 }
 
 /// `JobRef::run` for a [`ChunkJob`]: participate, then deregister.
+///
+/// # Safety
+///
+/// `data` must point at the live [`ChunkJob`] this worker entered via
+/// [`chunk_enter`]; `index` must be the worker's unique pool index.
 unsafe fn chunk_run<S, R, G, F>(data: *const (), index: usize)
 where
     G: Fn() -> S + Sync,
@@ -365,10 +452,21 @@ where
     G: Fn() -> S + Sync,
     F: Fn(&mut S, usize) -> R + Sync,
 {
+    run_chunked_on(shared(), len, init, work)
+}
+
+/// `run_chunked` against an explicit pool state instead of the global one.
+/// The loom suite uses this to run the real job protocol inside a model.
+pub fn run_chunked_on<S, R, G, F>(shared: &Shared, len: usize, init: G, work: F) -> Vec<R>
+where
+    S: Send,
+    R: Send,
+    G: Fn() -> S + Sync,
+    F: Fn(&mut S, usize) -> R + Sync,
+{
     if len == 0 {
         return Vec::new();
     }
-    let shared = shared();
     let failpoints = JobFailpoints::capture();
     if shared.threads == 1 || len == 1 {
         // Inline execution still honours the failpoint plan, batched at the
@@ -436,14 +534,43 @@ where
         // initialised.
         resume_unwind(payload);
     }
-    // SAFETY: every index in 0..len was claimed exactly once and its slot
-    // written; `UnsafeCell<MaybeUninit<R>>` has the layout of `R`, so the
-    // buffer can be reinterpreted in place.
-    let mut buffer = ManuallyDrop::new(outputs);
+    collect_outputs(outputs, len)
+}
+
+/// Turns the fully-written output slots into the result vector.
+///
+/// Precondition (upheld by [`run_chunked_on`]): every slot in `0..len` was
+/// written exactly once, and those writes happen-before this call via the
+/// job's `sync` mutex — the exact claim the loom variant below verifies.
+#[cfg(not(avg_local_loom))]
+fn collect_outputs<R>(outputs: Vec<UnsafeCell<MaybeUninit<R>>>, len: usize) -> Vec<R> {
+    debug_assert_eq!(outputs.len(), len);
+    // SAFETY: per the precondition every slot holds an initialised `R`, and
+    // the seam's `UnsafeCell` is `#[repr(transparent)]` over
+    // `MaybeUninit<R>`, which has the layout of `R` — so the buffer can be
+    // reinterpreted in place without copying.
+    let mut buffer = std::mem::ManuallyDrop::new(outputs);
     unsafe { Vec::from_raw_parts(buffer.as_mut_ptr().cast::<R>(), len, buffer.capacity()) }
 }
 
-/// A one-shot job carrying the right-hand closure of a [`join`] call.
+/// Model-checked variant: reads each slot through the instrumented cell, so
+/// the model proves the write of every slot happens-before the caller's read
+/// (the `MaybeUninit`-soundness claim), at the cost of a per-slot move.
+#[cfg(avg_local_loom)]
+fn collect_outputs<R>(outputs: Vec<UnsafeCell<MaybeUninit<R>>>, len: usize) -> Vec<R> {
+    debug_assert_eq!(outputs.len(), len);
+    outputs
+        .into_iter()
+        .map(|cell| {
+            // SAFETY: per the precondition the slot was written exactly
+            // once; reading it out leaves a `MaybeUninit` behind, which
+            // never drops its contents, so no double-drop.
+            cell.with(|slot| unsafe { (*slot).assume_init_read() })
+        })
+        .collect()
+}
+
+/// A one-shot job carrying the right-hand closure of a `join` call.
 struct JoinJob<B, RB> {
     claimed: AtomicBool,
     op: UnsafeCell<Option<B>>,
@@ -466,11 +593,18 @@ where
     /// Tries to claim and run the closure; returns `false` when another
     /// participant claimed it first.
     fn try_execute(&self) -> bool {
+        // ordering: `AcqRel` as defence in depth. Exactly-once rests only on
+        // RMW atomicity: `op` reaches workers through the injector mutex and
+        // the result travels back through `sync`, so the loom model
+        // (`loom_pool.rs`) accepts even `Relaxed` here. The stronger ordering
+        // documents the claim->take edge directly, decoupling this handshake
+        // from the surrounding mutexes, and costs nothing on this path.
         if self.claimed.swap(true, Ordering::AcqRel) {
             return false;
         }
         // SAFETY: the swap above makes this the only access to `op`.
-        let op = unsafe { (*self.op.get()).take() }.expect("join closure claimed twice");
+        let op =
+            self.op.with_mut(|op| unsafe { (*op).take() }).expect("join closure claimed twice");
         let outcome = catch_unwind(AssertUnwindSafe(op));
         let mut status = self.sync.lock().expect("join status poisoned");
         match outcome {
@@ -483,6 +617,12 @@ where
     }
 }
 
+/// `JobRef::enter` for a [`JoinJob`].
+///
+/// # Safety
+///
+/// `data` must point at the live [`JoinJob`] this `JobRef` was built from,
+/// and the caller must hold the injector lock.
 unsafe fn join_enter<B, RB>(data: *const ()) -> bool
 where
     B: FnOnce() -> RB + Send,
@@ -497,6 +637,12 @@ where
     true
 }
 
+/// `JobRef::run` for a [`JoinJob`]: race for the claim, then deregister.
+///
+/// # Safety
+///
+/// `data` must point at the live [`JoinJob`] this worker entered via
+/// [`join_enter`].
 unsafe fn join_run<B, RB>(data: *const (), _index: usize)
 where
     B: FnOnce() -> RB + Send,
@@ -521,7 +667,18 @@ where
     RA: Send,
     RB: Send,
 {
-    let shared = shared();
+    join_on(shared(), a, b)
+}
+
+/// `join` against an explicit pool state instead of the global one. The
+/// loom suite uses this to model-check the claim handshake.
+pub fn join_on<A, B, RA, RB>(shared: &Shared, a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
     if shared.threads == 1 {
         return (a(), b());
     }

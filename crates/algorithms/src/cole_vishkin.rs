@@ -89,7 +89,10 @@ impl RingOrientation {
     /// The predecessor of the node carrying `id`, if `id` belongs to the ring.
     #[must_use]
     pub fn predecessor(&self, id: Identifier) -> Option<Identifier> {
-        self.successor.iter().find_map(|(&from, &to)| (to == id).then_some(from))
+        // A consistent orientation has exactly one match; reducing with
+        // `min` keeps the answer independent of the map's iteration order
+        // even for malformed maps.
+        self.successor.iter().filter_map(|(&from, &to)| (to == id).then_some(from)).min()
     }
 
     /// Number of nodes covered by the orientation.
@@ -108,17 +111,27 @@ impl RingOrientation {
     /// exactly the identifiers it mentions.
     #[must_use]
     pub fn is_consistent(&self) -> bool {
-        let Some((&start, _)) = self.successor.iter().next() else {
+        // Walk from a deterministic start (the smallest identifier): an
+        // arbitrary hash-order start would make the answer depend on the
+        // map's iteration order for multi-cycle maps (e.g. cycles of length
+        // 2 and 4: six steps from inside the 2-cycle land back on the start,
+        // from inside the 4-cycle they do not).
+        let Some(start) = self.successor.keys().copied().min() else {
             return true;
         };
         let mut current = start;
-        for _ in 0..self.successor.len() {
+        for step in 1..=self.successor.len() {
             match self.successor.get(&current) {
                 Some(&next) => current = next,
                 None => return false,
             }
+            if current == start {
+                // Back at the start: consistent iff the cycle covered the
+                // whole map (an early return means a shorter sub-cycle).
+                return step == self.successor.len();
+            }
         }
-        current == start
+        false
     }
 }
 

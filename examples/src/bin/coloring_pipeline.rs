@@ -7,6 +7,8 @@
 //!
 //! Run with: `cargo run -p avglocal-examples --bin coloring_pipeline`
 
+#![forbid(unsafe_code)]
+
 use avglocal::algorithms::{landmarks, run_three_coloring, verify};
 use avglocal::prelude::*;
 use avglocal_examples::print_profile;

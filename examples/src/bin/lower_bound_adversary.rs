@@ -7,6 +7,8 @@
 //!
 //! Run with: `cargo run -p avglocal-examples --bin lower_bound_adversary`
 
+#![forbid(unsafe_code)]
+
 use avglocal::prelude::*;
 
 fn main() -> Result<(), avglocal::CoreError> {

@@ -9,6 +9,8 @@
 //!
 //! Run with: `cargo run -p avglocal-examples --bin parallel_scheduler`
 
+#![forbid(unsafe_code)]
+
 use avglocal::prelude::*;
 
 fn main() -> Result<(), avglocal::CoreError> {

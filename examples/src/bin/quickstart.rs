@@ -7,6 +7,8 @@
 //!
 //! Run with: `cargo run -p avglocal-examples --bin quickstart`
 
+#![forbid(unsafe_code)]
+
 use avglocal::prelude::*;
 use avglocal_examples::print_profile;
 

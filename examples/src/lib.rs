@@ -9,6 +9,8 @@
 //! * `coloring_pipeline` — Cole–Vishkin, landmark and baseline colourings
 //!   side by side.
 
+#![forbid(unsafe_code)]
+
 use avglocal::prelude::*;
 
 /// Prints a one-line summary of a radius profile: `label: avg=…, max=…`.

@@ -5,6 +5,8 @@
 //! verification → measurement → theory comparison. This library target only
 //! hosts small shared helpers.
 
+#![forbid(unsafe_code)]
+
 use avglocal::prelude::*;
 
 /// Builds the standard test instance: an `n`-cycle with identifiers shuffled

@@ -21,15 +21,20 @@ struct CountingAllocator;
 // SAFETY: delegates verbatim to `System`; the counter has no effect on the
 // returned memory.
 unsafe impl GlobalAlloc for CountingAllocator {
+    // SAFETY: forwards `layout` unchanged to `System.alloc`.
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
         ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
         unsafe { System.alloc(layout) }
     }
 
+    // SAFETY: forwards the caller's `ptr`/`layout` pair, whose validity is
+    // the caller's `dealloc` contract, unchanged to `System.dealloc`.
     unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
         unsafe { System.dealloc(ptr, layout) }
     }
 
+    // SAFETY: forwards the caller's arguments, whose validity is the
+    // caller's `realloc` contract, unchanged to `System.realloc`.
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
         ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
         unsafe { System.realloc(ptr, layout, new_size) }

@@ -1,0 +1,9 @@
+//! Workspace automation for the avglocal repo, driven by `cargo xtask`.
+//!
+//! The library form exists so the linter's rules can be exercised against
+//! seeded fixture trees from integration tests (`tests/lint_rules.rs`); the
+//! `xtask` binary is a thin argument-parsing shell around [`lint::run`].
+
+#![forbid(unsafe_code)]
+
+pub mod lint;

@@ -1,0 +1,9 @@
+//! Fixture: panic sites on a hardened decode surface.
+
+pub fn decode(bytes: &[u8]) -> u32 {
+    assert!(bytes.len() >= 4);
+    let head: [u8; 4] = bytes[..4].try_into().unwrap();
+    let tail = bytes.get(4).copied().expect("tail byte");
+    debug_assert_eq!(tail, 0);
+    u32::from_le_bytes(head)
+}

@@ -1,0 +1,10 @@
+//! Fixture: public error enums with and without the attribute.
+
+pub enum BareError {
+    Oops,
+}
+
+#[non_exhaustive]
+pub enum MarkedError {
+    Oops,
+}

@@ -1,0 +1,11 @@
+//! Fixture: every determinism token, one per line.
+
+use std::collections::HashMap;
+use std::collections::HashSet;
+use std::time::Instant;
+use std::time::SystemTime;
+
+pub fn now() -> Instant {
+    let _id = std::thread::current().id();
+    Instant::now()
+}

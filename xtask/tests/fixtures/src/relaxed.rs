@@ -1,0 +1,12 @@
+//! Fixture: Relaxed uses with and without a justification.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+pub fn bump(counter: &AtomicUsize) -> usize {
+    counter.fetch_add(1, Ordering::Relaxed)
+}
+
+pub fn read(counter: &AtomicUsize) -> usize {
+    // ordering: a monotonic counter read; staleness is fine (fixture).
+    counter.load(Ordering::Relaxed)
+}

@@ -1,0 +1,12 @@
+//! Fixture: code inside cfg(test) is exempt from every rule but safety.
+
+#[cfg(test)]
+mod tests {
+    use std::collections::HashMap;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    fn helper(counter: &AtomicUsize) -> usize {
+        let _unused: Option<HashMap<u32, u32>> = None;
+        counter.fetch_add(1, Ordering::Relaxed)
+    }
+}

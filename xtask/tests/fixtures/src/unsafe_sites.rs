@@ -1,0 +1,10 @@
+//! Fixture: one bare unsafe site, one with the required comment.
+
+pub fn uncovered(ptr: *const u32) -> u32 {
+    unsafe { *ptr }
+}
+
+pub fn covered(ptr: *const u32) -> u32 {
+    // SAFETY: the caller promises `ptr` is valid (fixture).
+    unsafe { *ptr }
+}
