@@ -5,8 +5,11 @@
 # block — work-stealing vs static chunks on the clustered adversarial
 # assignment — the pool block — persistent pool vs spawn-per-call — and the
 # freeze block — parallel vs serial Graph::freeze — and the snapshot block —
-# CsrGraph::to_bytes vs the validating from_bytes, with bytes/edge density)
-# and refreshes BENCH_e1.json.
+# CsrGraph::to_bytes vs the validating from_bytes, with bytes/edge density —
+# and the service block — sustained query load through the resilient
+# radius-query service vs raw probes, qps + p99 with a 3x overhead gate)
+# and refreshes BENCH_e1.json. The dedicated service harness is
+# `cargo run --release -p avglocal-bench --bin service_load`.
 #
 # Pin the pool for reproducible timings: AVG_LOCAL_THREADS=4 ./bench.sh
 #

@@ -124,6 +124,59 @@ fn env_default() -> Plan {
     })
 }
 
+/// Pending worker-kill tokens (see [`kill_workers`]): each is consumed by
+/// one pool worker at its next job boundary.
+static WORKER_KILLS: AtomicU64 = AtomicU64::new(0);
+
+/// Arms `count` worker-kill tokens, process-wide.
+///
+/// Unlike a [`Plan`] panic — which unwinds *inside* a job's per-chunk
+/// `catch_unwind` — a kill token makes a pool worker panic at its next **job
+/// boundary**, outside any job scope, killing the thread itself. This is the
+/// fault the pool supervisor exists for: the dead worker is detected and
+/// respawned (see `pool::worker_respawn_count`), and the fault-injection
+/// suite uses this hook to prove the pool keeps serving afterwards.
+///
+/// Tokens are consumed by whichever workers reach a job boundary first; on a
+/// single-participant pool (no worker threads) they sit armed but unclaimed.
+pub fn kill_workers(count: u64) {
+    // ordering: `Relaxed` — a token counter, not a publication channel; the
+    // RMW total order keeps grants and claims balanced, and no other memory
+    // is synchronised through it.
+    WORKER_KILLS.fetch_add(count, Ordering::Relaxed);
+}
+
+/// Claims one armed worker-kill token, if any; called by pool workers at
+/// every job boundary.
+fn take_worker_kill() -> bool {
+    // ordering: `Relaxed` — same token counter as `kill_workers`; no other
+    // memory is synchronised through it.
+    let mut current = WORKER_KILLS.load(Ordering::Relaxed);
+    while current > 0 {
+        // ordering: `Relaxed` — CAS on the same token counter; the RMW
+        // total order alone guarantees each token is claimed exactly once.
+        match WORKER_KILLS.compare_exchange_weak(
+            current,
+            current - 1,
+            Ordering::Relaxed,
+            Ordering::Relaxed,
+        ) {
+            Ok(_) => return true,
+            Err(observed) => current = observed,
+        }
+    }
+    false
+}
+
+/// Panics iff a worker-kill token is armed; called by pool workers at job
+/// boundaries (no locks held), so the unwind escapes every job scope and
+/// reaches the worker supervisor.
+pub(crate) fn maybe_kill_worker(index: usize) {
+    if take_worker_kill() {
+        panic!("injected worker kill (outside any job) on pool participant {index}");
+    }
+}
+
 /// The failpoint state of one published job: the plan captured at publish
 /// time plus a per-job chunk counter shared by every participant.
 #[derive(Debug)]

@@ -53,15 +53,23 @@
 //! closure this makes the propagated payload deterministic — the same
 //! first-in-index-order panic no matter how the pool interleaved the chunks
 //! or how many participants it has — at the price of finishing the job on
-//! the (rare) panic path instead of aborting it early. The pool threads
-//! themselves never unwind and survive arbitrarily many panicking jobs. On
-//! the panic path the already produced outputs (and, for vector sources,
-//! unconsumed items) are leaked rather than dropped — a deliberate
-//! simplification over upstream rayon.
+//! the (rare) panic path instead of aborting it early. Job panics therefore
+//! never unwind a pool thread, and the pool survives arbitrarily many
+//! panicking jobs. On the panic path the already produced outputs (and, for
+//! vector sources, unconsumed items) are leaked rather than dropped — a
+//! deliberate simplification over upstream rayon.
+//!
+//! Should a panic nevertheless escape every job scope — only possible
+//! between jobs, e.g. an injected worker kill — the worker thread itself
+//! dies, and a per-worker supervisor respawns a replacement under the same
+//! participant index (counted by [`worker_respawn_count`]), so the pool's
+//! capacity is self-healing rather than silently degrading.
 //!
 //! Fault-injection hooks (see [`crate::failpoints`]) fire at every chunk
 //! claim inside the same `catch_unwind` as the work items, so injected
-//! panic storms exercise exactly the recovery path above.
+//! panic storms exercise exactly the recovery path above; worker-kill
+//! injection (see [`crate::failpoints::kill_workers`]) fires at job
+//! boundaries to exercise the supervisor path.
 
 use std::any::Any;
 use std::cell::Cell;
@@ -169,18 +177,59 @@ impl Shared {
 
 static POOL: OnceLock<Shared> = OnceLock::new();
 
+/// Workers respawned by the supervisor after dying outside a job boundary.
+/// A `std` atomic (not `crate::sync`): supervision bookkeeping, outside the
+/// loom-modelled job protocol.
+static WORKER_RESPAWNS: std::sync::atomic::AtomicUsize = std::sync::atomic::AtomicUsize::new(0);
+
+/// How many pool workers the supervisor has respawned after an unwind
+/// escaped every job scope (see [`crate::failpoints::kill_workers`] for the
+/// injection hook). Normally 0 for the whole process lifetime.
+#[must_use]
+pub fn worker_respawn_count() -> usize {
+    // ordering: `Relaxed` — a monotone statistics counter; readers only need
+    // eventual counts, nothing is published through it.
+    WORKER_RESPAWNS.load(std::sync::atomic::Ordering::Relaxed)
+}
+
 fn shared() -> &'static Shared {
     let shared = POOL.get_or_init(|| Shared::with_threads(resolve_thread_count()));
     static WORKERS_STARTED: OnceLock<()> = OnceLock::new();
     WORKERS_STARTED.get_or_init(|| {
         for index in 1..shared.threads {
-            std::thread::Builder::new()
-                .name(format!("avglocal-pool-{index}"))
-                .spawn(move || worker_loop(shared, index))
-                .expect("spawning a pool worker thread");
+            spawn_worker(shared, index);
         }
     });
     shared
+}
+
+/// Spawns the supervised worker thread for participant `index`.
+fn spawn_worker(shared: &'static Shared, index: usize) {
+    std::thread::Builder::new()
+        .name(format!("avglocal-pool-{index}"))
+        .spawn(move || supervise_worker(shared, index))
+        .expect("spawning a pool worker thread");
+}
+
+/// Runs `worker_loop` and, should it ever unwind — a panic escaping every
+/// job scope, which job-level `catch_unwind` recovery cannot see — respawns
+/// a replacement worker under the same participant index, so the pool's
+/// capacity survives worker death.
+///
+/// The unwind can only originate *between* jobs (job panics are caught per
+/// chunk, and `worker_loop` holds no lock while running a job), so the dying
+/// worker is registered with no job and poisons no mutex; the replacement
+/// takes over a clean protocol state. The respawn happens on the dying
+/// thread itself before it finishes unwinding, which keeps supervision free
+/// of any watchdog thread or health-check traffic on the hot path.
+fn supervise_worker(shared: &'static Shared, index: usize) {
+    let outcome = catch_unwind(AssertUnwindSafe(|| worker_loop(shared, index)));
+    if outcome.is_err() {
+        // ordering: `Relaxed` — monotone statistics counter read only by
+        // `worker_respawn_count`; no memory is published through it.
+        WORKER_RESPAWNS.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        spawn_worker(shared, index);
+    }
 }
 
 thread_local! {
@@ -261,6 +310,11 @@ fn worker_loop(shared: &'static Shared, index: usize) {
                 // SAFETY: this worker is registered in the job's `inside`
                 // count, so the caller waits for it before returning.
                 unsafe { (job.run)(job.data, index) };
+                // Job boundary: the worker is deregistered from the job and
+                // holds no lock, so an injected kill here unwinds out of
+                // `worker_loop` entirely — the fault `supervise_worker`
+                // recovers from.
+                crate::failpoints::maybe_kill_worker(index);
                 queue = shared.injector.lock().expect("pool injector poisoned");
             }
             None => {

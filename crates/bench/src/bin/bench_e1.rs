@@ -8,7 +8,9 @@
 //! `Graph::freeze`, bit-identical by assertion) and the **hub block** (the
 //! E9 hub adversary on the committed preferential-attachment family: sweep
 //! wall time plus the measured edge/node detachment, gated at the
-//! regular-family sandwich bound of 2).
+//! regular-family sandwich bound of 2) and the **service block** (sustained
+//! query load through the resilient radius-query service vs the bare frozen
+//! session, recording qps and p99 latency, overhead gated at 3x).
 //!
 //! Writes `BENCH_e1.json` (next to the current working directory) so the
 //! repository keeps a perf trajectory across PRs, and exits non-zero if any
@@ -47,6 +49,7 @@ use avglocal::analysis::recurrence::clustered_adversarial_arrangement;
 use avglocal::graph::CsrGraph;
 use avglocal::prelude::*;
 use avglocal::runtime::{BallExecution, BallExecutor, FrozenExecutor, Knowledge, Scheduling};
+use avglocal_bench::load::{raw_probe_load, service_load, LoadConfig};
 
 /// Repetitions per measurement; the minimum is reported.
 const REPS: usize = 3;
@@ -461,6 +464,51 @@ fn main() -> ExitCode {
         });
     }
 
+    // The service datapoint: the same reader scripts driven once through the
+    // resilient radius-query service (admission, deadline bookkeeping, epoch
+    // pinning on every query) and once straight on the shared frozen session.
+    // Total radii must agree bit for bit; the qps ratio is the service
+    // layer's per-query overhead and is gated at a 3x budget.
+    let load_config = if quick {
+        LoadConfig { nodes: 256, readers: 2, queries_per_reader: 256 }
+    } else {
+        LoadConfig { nodes: 1024, readers: 4, queries_per_reader: 1024 }
+    };
+    println!(
+        "\nE1 service load: {} readers x {} queries on an n={} generation",
+        load_config.readers, load_config.queries_per_reader, load_config.nodes
+    );
+    println!(
+        "{:>12} {:>12} {:>10} {:>10} {:>10} {:>9}",
+        "service qps", "raw qps", "p50 us", "p99 us", "max us", "overhead"
+    );
+    let mut service_run = service_load(&load_config);
+    let mut raw_run = raw_probe_load(&load_config);
+    for _ in 1..REPS {
+        let service_again = service_load(&load_config);
+        if service_again.qps > service_run.qps {
+            service_run = service_again;
+        }
+        let raw_again = raw_probe_load(&load_config);
+        if raw_again.qps > raw_run.qps {
+            raw_run = raw_again;
+        }
+    }
+    assert_eq!(
+        service_run.total_radius, raw_run.total_radius,
+        "service answers diverged from raw probes"
+    );
+    let service_overhead = raw_run.qps / service_run.qps;
+    println!(
+        "{:>12.0} {:>12.0} {:>10} {:>10} {:>10} {:>8.2}x",
+        service_run.qps,
+        raw_run.qps,
+        service_run.p50_us,
+        service_run.p99_us,
+        service_run.max_us,
+        service_overhead
+    );
+
     let mut json = String::from("{\n  \"experiment\": \"e1_largest_id_identity\",\n");
     let _ = writeln!(json, "  \"threads\": {threads},");
     let _ = writeln!(json, "  \"available_parallelism\": {cores},");
@@ -597,7 +645,28 @@ fn main() -> ExitCode {
             if i + 1 == hub_rows.len() { "" } else { "," }
         );
     }
-    json.push_str("    ]\n  }\n}\n");
+    json.push_str("    ]\n  },\n  \"service\": {\n");
+    json.push_str(
+        "    \"description\": \"sustained query load through the resilient radius-query \
+         service (admission, deadlines, epoch pinning) vs the same reader scripts on the \
+         bare frozen session; total radii bit-identical by assertion, overhead gated at a \
+         3x per-query budget\",\n",
+    );
+    let _ = writeln!(json, "    \"threads\": {threads},");
+    let _ = writeln!(
+        json,
+        "    \"rows\": [\n      {{\"nodes\": {}, \"readers\": {}, \"queries\": {}, \"service_qps\": {:.0}, \"raw_qps\": {:.0}, \"p50_us\": {}, \"p99_us\": {}, \"max_us\": {}, \"overhead\": {:.2}}}\n    ]",
+        load_config.nodes,
+        load_config.readers,
+        service_run.completed,
+        service_run.qps,
+        raw_run.qps,
+        service_run.p50_us,
+        service_run.p99_us,
+        service_run.max_us,
+        service_overhead
+    );
+    json.push_str("  }\n}\n");
     fs::write("BENCH_e1.json", &json).expect("BENCH_e1.json must be writable");
     println!("\nwrote BENCH_e1.json");
 
@@ -668,6 +737,15 @@ fn main() -> ExitCode {
             1.0,
         ));
     }
+    // The service gate: admission bookkeeping, a clock read per ball-growth
+    // step and the generation pin must cost at most 3x the bare probe loop.
+    // The ratio is machine time but compares two runs of the same process on
+    // the same machine, so it holds at full strength on every leg.
+    gates.push(Gate::full(
+        "service: per-query overhead vs raw probes (3x budget)",
+        3.0 / service_overhead,
+        1.0,
+    ));
     // The hub gate is deterministic (fixed family seed + fixed assignment),
     // so it applies at full strength everywhere — quick mode, 1-core
     // containers, every leg of the thread matrix.

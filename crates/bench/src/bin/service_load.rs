@@ -1,0 +1,91 @@
+//! Standalone load generator for the resilient radius-query service.
+//!
+//! Runs the sustained reader load of `avglocal_bench::load` at a few sizes
+//! and prints queries/sec and latency quantiles for the service path next
+//! to the bare frozen-session baseline. The same numbers feed the `service`
+//! block of `BENCH_e1.json` (via `bench_e1`); this binary is the dedicated
+//! knob-turning harness.
+//!
+//! ```text
+//! cargo run --release -p avglocal-bench --bin service_load             # full sizes
+//! cargo run --release -p avglocal-bench --bin service_load -- --quick  # smoke run
+//! cargo run --release -p avglocal-bench --bin service_load -- --check  # gate overhead
+//! ```
+//!
+//! `--check` exits non-zero if the service's per-query overhead exceeds its
+//! 3x budget at any size, or if the service and baseline paths disagree on
+//! any total radius (they must be bit-identical).
+
+use std::env;
+use std::process::ExitCode;
+
+use avglocal_bench::load::{raw_probe_load, service_load, LoadConfig};
+
+/// Per-query overhead budget: the service path must sustain at least a
+/// third of the raw probe loop's throughput.
+const OVERHEAD_BUDGET: f64 = 3.0;
+
+fn main() -> ExitCode {
+    let quick = env::args().any(|a| a == "--quick");
+    let check = env::args().any(|a| a == "--check");
+    let configs: &[LoadConfig] = if quick {
+        &[LoadConfig { nodes: 256, readers: 2, queries_per_reader: 256 }]
+    } else {
+        &[
+            LoadConfig { nodes: 256, readers: 2, queries_per_reader: 1024 },
+            LoadConfig { nodes: 1024, readers: 4, queries_per_reader: 1024 },
+            LoadConfig { nodes: 4096, readers: 8, queries_per_reader: 512 },
+        ]
+    };
+
+    println!("service load: sustained queries through the radius-query service vs raw probes");
+    println!(
+        "{:>6} {:>8} {:>9} {:>12} {:>12} {:>8} {:>8} {:>8} {:>9}",
+        "nodes",
+        "readers",
+        "queries",
+        "service qps",
+        "raw qps",
+        "p50 us",
+        "p99 us",
+        "max us",
+        "overhead"
+    );
+    let mut failed = false;
+    for config in configs {
+        let service = service_load(config);
+        let raw = raw_probe_load(config);
+        let overhead = raw.qps / service.qps;
+        if service.total_radius != raw.total_radius {
+            eprintln!(
+                "service answers diverged from raw probes at n={} ({} vs {})",
+                config.nodes, service.total_radius, raw.total_radius
+            );
+            failed = true;
+        }
+        if overhead > OVERHEAD_BUDGET {
+            failed = true;
+        }
+        println!(
+            "{:>6} {:>8} {:>9} {:>12.0} {:>12.0} {:>8} {:>8} {:>8} {:>8.2}x",
+            config.nodes,
+            config.readers,
+            service.completed,
+            service.qps,
+            raw.qps,
+            service.p50_us,
+            service.p99_us,
+            service.max_us,
+            overhead
+        );
+    }
+
+    if failed {
+        eprintln!("service overhead exceeded its {OVERHEAD_BUDGET}x budget or answers diverged");
+        if check {
+            return ExitCode::FAILURE;
+        }
+        panic!("service load gates failed (run with --check for a non-panicking exit)");
+    }
+    ExitCode::SUCCESS
+}

@@ -18,6 +18,7 @@
 //! | E7 | node-averaged complexity beyond the ring (BGKO line) | `bin/experiments.rs --e7` |
 //! | E8 | node- vs edge-averaged vs worst-case measures | `bin/experiments.rs --e8` |
 //! | E9 | hub-weighted families: edge/node detachment while connected | `bin/experiments.rs --e9` |
+//! | — | radius-query service under sustained load (qps, p99, overhead) | `bin/service_load.rs` |
 //!
 //! The Criterion benches measure the *simulator's* throughput on each
 //! experiment workload; the actual result tables (who wins, by how much) are
@@ -28,6 +29,7 @@
 //! cargo run --release -p avglocal-bench --bin experiments -- --e1    # one table
 //! ```
 
+pub mod load;
 pub mod tables;
 
 pub use tables::{

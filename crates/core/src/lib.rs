@@ -51,7 +51,10 @@
 //!   bounds) for theory-versus-measurement tables;
 //! * [`schedule`] — the motivating applications (parallel simulation,
 //!   dynamic updates) as measurable quantities;
-//! * [`report`] — plain-text/CSV tables used by the benchmark binary.
+//! * [`report`] — plain-text/CSV tables used by the benchmark binary;
+//! * [`service`] — the resilient long-lived radius-query service layer
+//!   (epoch-published snapshots, deadlines, load shedding, crash-safe
+//!   persistence; re-exported from `avglocal-service`).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -88,6 +91,7 @@ pub use avglocal_algorithms as algorithms;
 pub use avglocal_analysis as analysis;
 pub use avglocal_graph as graph;
 pub use avglocal_runtime as runtime;
+pub use avglocal_service as service;
 
 /// Everything a typical experiment needs, importable in one line.
 pub mod prelude {

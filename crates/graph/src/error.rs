@@ -72,6 +72,20 @@ pub enum GraphError {
         /// Human-readable description of the violated invariant.
         reason: String,
     },
+    /// Reading or durably writing a snapshot *file* failed at the I/O layer
+    /// (see [`crate::CsrGraph::write_to_path`] /
+    /// [`crate::CsrGraph::read_from_path`]).
+    ///
+    /// Distinct from [`GraphError::CorruptSnapshot`]: this variant means the
+    /// bytes never made it to or from disk (missing file, permission error,
+    /// failed fsync or rename), while `CorruptSnapshot` means bytes were read
+    /// but failed validation.
+    SnapshotIo {
+        /// The file the operation was addressed at.
+        path: String,
+        /// Human-readable description of the underlying I/O failure.
+        reason: String,
+    },
     /// A line of an edge-list document (see [`crate::io::from_edge_list`])
     /// could not be parsed.
     ///
@@ -117,6 +131,9 @@ impl fmt::Display for GraphError {
             GraphError::CorruptSnapshot { offset, reason } => {
                 write!(f, "corrupt snapshot at byte offset {offset}: {reason}")
             }
+            GraphError::SnapshotIo { path, reason } => {
+                write!(f, "snapshot i/o on {path}: {reason}")
+            }
             GraphError::MalformedLine { line, reason } => {
                 write!(f, "line {line}: {reason}")
             }
@@ -161,6 +178,10 @@ mod tests {
         let e = GraphError::CorruptSnapshot { offset: 24, reason: "offsets not monotone".into() };
         assert!(e.to_string().contains("24"));
         assert!(e.to_string().contains("monotone"));
+
+        let e = GraphError::SnapshotIo { path: "gen-7.snap".into(), reason: "not found".into() };
+        assert!(e.to_string().contains("gen-7.snap"));
+        assert!(e.to_string().contains("not found"));
 
         let e = GraphError::MalformedLine { line: 3, reason: "unknown directive 'frob'".into() };
         assert!(e.to_string().contains("line 3"));

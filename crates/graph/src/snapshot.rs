@@ -51,6 +51,9 @@
 //! component labelling.
 
 use std::collections::HashSet;
+use std::fs;
+use std::io::Write;
+use std::path::{Path, PathBuf};
 
 use crate::components::ComponentLabels;
 use crate::error::{GraphError, Result};
@@ -307,6 +310,75 @@ impl CsrGraph {
             (0..n).map(|v| Identifier::new(read_u64(bytes, identifiers_at + 8 * v))).collect();
         Ok(CsrGraph::from_validated_parts(offsets, targets, components, identifiers))
     }
+
+    /// Durably persists the snapshot to `path`.
+    ///
+    /// Crash safety comes from the classic write-to-temp protocol: the bytes
+    /// are written to a sibling `<filename>.tmp`, fsynced, then atomically
+    /// renamed over `path` (followed by a best-effort fsync of the parent
+    /// directory so the rename itself is durable). A crash at any point
+    /// leaves either the previous file intact or a stray `.tmp` that readers
+    /// ignore — never a half-written snapshot under the final name.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::SnapshotIo`] if any filesystem step fails; the
+    /// temp file is removed on a best-effort basis before returning. Never
+    /// panics.
+    pub fn write_to_path(&self, path: impl AsRef<Path>) -> Result<()> {
+        let path = path.as_ref();
+        let bytes = self.to_bytes();
+        let tmp = tmp_sibling(path);
+        let attempt = (|| {
+            let mut file = fs::File::create(&tmp)?;
+            file.write_all(&bytes)?;
+            file.sync_all()?;
+            drop(file);
+            fs::rename(&tmp, path)?;
+            // Durability of the rename needs the directory entry flushed too;
+            // failure here is not a correctness problem (the data is either
+            // fully there or the old file is), so it is best effort.
+            if let Some(parent) = path.parent() {
+                if let Ok(dir) = fs::File::open(parent) {
+                    let _ = dir.sync_all();
+                }
+            }
+            Ok(())
+        })();
+        attempt.map_err(|e: std::io::Error| {
+            let _ = fs::remove_file(&tmp);
+            snapshot_io(path, &e)
+        })
+    }
+
+    /// Reads and validates a snapshot previously persisted with
+    /// [`CsrGraph::write_to_path`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::SnapshotIo`] if the file cannot be read at all
+    /// (missing, permissions, ...) and [`GraphError::CorruptSnapshot`] if
+    /// bytes were read but fail validation — e.g. a write torn mid-stream by
+    /// a crash, a truncation, or a bit flip. Never panics; see
+    /// [`CsrGraph::from_bytes`] for the validation contract.
+    pub fn read_from_path(path: impl AsRef<Path>) -> Result<CsrGraph> {
+        let path = path.as_ref();
+        let bytes = fs::read(path).map_err(|e| snapshot_io(path, &e))?;
+        CsrGraph::from_bytes(&bytes)
+    }
+}
+
+/// The sibling temp file `write_to_path` stages bytes in before the atomic
+/// rename: `path` with `.tmp` appended to the full file name.
+fn tmp_sibling(path: &Path) -> PathBuf {
+    let mut name = path.as_os_str().to_os_string();
+    name.push(".tmp");
+    PathBuf::from(name)
+}
+
+/// Wraps an I/O failure as a typed [`GraphError::SnapshotIo`].
+fn snapshot_io(path: &Path, err: &std::io::Error) -> GraphError {
+    GraphError::SnapshotIo { path: path.display().to_string(), reason: err.to_string() }
 }
 
 /// Converts a header count to `usize`, rejecting values above `limit`.
@@ -491,6 +563,95 @@ mod tests {
         let decoded = CsrGraph::from_bytes(&bytes).unwrap();
         assert_eq!(decoded.node_count(), 0);
         assert_eq!(decoded, csr);
+    }
+
+    /// Fresh per-test scratch directory under the OS temp dir; unique across
+    /// concurrently running test processes and tests within one process.
+    fn scratch_dir(tag: &str) -> std::path::PathBuf {
+        use std::sync::atomic::{AtomicU32, Ordering};
+        static SEQ: AtomicU32 = AtomicU32::new(0);
+        let seq = SEQ.fetch_add(1, Ordering::Relaxed);
+        let dir = std::env::temp_dir()
+            .join(format!("avglocal-snapshot-{tag}-{}-{seq}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn disk_round_trip_is_bit_identical() {
+        let dir = scratch_dir("roundtrip");
+        for (i, g) in sample_graphs().into_iter().enumerate() {
+            let csr = g.freeze();
+            let path = dir.join(format!("gen-{i}.snap"));
+            csr.write_to_path(&path).unwrap();
+            let decoded = CsrGraph::read_from_path(&path).unwrap();
+            assert_eq!(decoded, csr);
+            assert_eq!(decoded.to_bytes(), csr.to_bytes());
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn write_leaves_no_temp_file_behind() {
+        let dir = scratch_dir("tmpfile");
+        let path = dir.join("g.snap");
+        generators::cycle(5).unwrap().freeze().write_to_path(&path).unwrap();
+        let listing: Vec<_> =
+            std::fs::read_dir(&dir).unwrap().map(|e| e.unwrap().file_name()).collect();
+        assert_eq!(listing, vec![std::ffi::OsString::from("g.snap")]);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn rewrite_replaces_atomically() {
+        // Overwriting an existing snapshot goes through the same temp+rename
+        // path, so the old generation is never visible half-replaced.
+        let dir = scratch_dir("rewrite");
+        let path = dir.join("g.snap");
+        let first = generators::cycle(5).unwrap().freeze();
+        let second = generators::grid(3, 4).unwrap().freeze();
+        first.write_to_path(&path).unwrap();
+        second.write_to_path(&path).unwrap();
+        assert_eq!(CsrGraph::read_from_path(&path).unwrap(), second);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn missing_file_is_snapshot_io_not_corrupt() {
+        let dir = scratch_dir("missing");
+        let err = CsrGraph::read_from_path(dir.join("nope.snap")).unwrap_err();
+        assert!(matches!(err, GraphError::SnapshotIo { .. }), "{err}");
+        assert!(err.to_string().contains("nope.snap"), "{err}");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn torn_write_on_disk_is_typed_corruption() {
+        // Simulate a crash mid-write that somehow reached the final name
+        // (e.g. a pre-atomic-rename writer): every prefix of the valid bytes
+        // is rejected with CorruptSnapshot, never a panic.
+        let dir = scratch_dir("torn");
+        let csr = generators::grid(3, 3).unwrap().freeze();
+        let bytes = csr.to_bytes();
+        let path = dir.join("torn.snap");
+        for len in [0, 7, HEADER_LEN - 1, HEADER_LEN, bytes.len() - 1] {
+            std::fs::write(&path, &bytes[..len]).unwrap();
+            let err = CsrGraph::read_from_path(&path).unwrap_err();
+            assert!(matches!(err, GraphError::CorruptSnapshot { .. }), "len {len}: {err}");
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn write_into_missing_directory_is_snapshot_io() {
+        let dir = scratch_dir("nodir");
+        let err = generators::cycle(4)
+            .unwrap()
+            .freeze()
+            .write_to_path(dir.join("sub/does/not/exist.snap"))
+            .unwrap_err();
+        assert!(matches!(err, GraphError::SnapshotIo { .. }), "{err}");
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

@@ -443,9 +443,30 @@ pub(crate) fn probe_node_on_csr<A: BallAlgorithm>(
     knowledge: &Knowledge,
     hard_limit: usize,
 ) -> (Result<(A::Output, usize)>, GrowerScratch) {
+    probe_node_on_csr_cancellable(csr, scratch, node, algorithm, knowledge, hard_limit, &mut never)
+}
+
+/// Like [`probe_node_on_csr`] but polls `cancel` cooperatively — the probe
+/// path behind [`crate::FrozenExecutor::run_node_with_cancel`] and the
+/// service layer's per-request deadlines.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn probe_node_on_csr_cancellable<A: BallAlgorithm>(
+    csr: &CsrGraph,
+    scratch: GrowerScratch,
+    node: NodeId,
+    algorithm: &A,
+    knowledge: &Knowledge,
+    hard_limit: usize,
+    cancel: &mut dyn FnMut(usize) -> bool,
+) -> (Result<(A::Output, usize)>, GrowerScratch) {
     let mut grower = BallGrower::with_scratch(csr, node, scratch);
-    let result = drive_grower(&mut grower, algorithm, knowledge, hard_limit);
+    let result = drive_grower_cancellable(&mut grower, algorithm, knowledge, hard_limit, cancel);
     (result, grower.into_scratch())
+}
+
+/// The always-false cancellation hook of the uncancellable probe paths.
+fn never(_radius: usize) -> bool {
+    false
 }
 
 /// Probes one node with the incremental grower until the algorithm decides.
@@ -455,7 +476,25 @@ pub(crate) fn drive_grower<A: BallAlgorithm>(
     knowledge: &Knowledge,
     hard_limit: usize,
 ) -> Result<(A::Output, usize)> {
+    drive_grower_cancellable(grower, algorithm, knowledge, hard_limit, &mut never)
+}
+
+/// Probes one node, polling `cancel(radius)` once per ball-growth step —
+/// before the radius-`r` view is inspected. When the hook returns `true` the
+/// probe stops with [`RuntimeError::Cancelled`] without growing further, so
+/// an expired deadline costs at most one additional decide call. A hook that
+/// never fires leaves the probe bit-identical to [`drive_grower`].
+pub(crate) fn drive_grower_cancellable<A: BallAlgorithm>(
+    grower: &mut BallGrower<'_>,
+    algorithm: &A,
+    knowledge: &Knowledge,
+    hard_limit: usize,
+    cancel: &mut dyn FnMut(usize) -> bool,
+) -> Result<(A::Output, usize)> {
     loop {
+        if cancel(grower.radius()) {
+            return Err(RuntimeError::Cancelled { node: grower.center(), radius: grower.radius() });
+        }
         let view = LocalView::from_grower(grower);
         let saturated = view.is_saturated();
         if let Some(out) = algorithm.decide(&view, knowledge) {

@@ -22,6 +22,16 @@ pub enum RuntimeError {
         /// The node that never decided.
         node: NodeId,
     },
+    /// A cooperative cancellation hook stopped the probe before the
+    /// algorithm decided (see
+    /// [`crate::FrozenExecutor::run_node_with_cancel`]); typically a service
+    /// deadline expiring mid-query.
+    Cancelled {
+        /// The node whose probe was abandoned.
+        node: NodeId,
+        /// The ball radius the probe had reached when it was cancelled.
+        radius: usize,
+    },
     /// The algorithm was run on an unsuitable graph (for example a
     /// cycle-specific algorithm on a node of degree 3).
     UnsupportedTopology {
@@ -40,6 +50,9 @@ impl fmt::Display for RuntimeError {
             }
             RuntimeError::NonTerminating { node } => {
                 write!(f, "node {node} saw its whole component but never produced an output")
+            }
+            RuntimeError::Cancelled { node, radius } => {
+                write!(f, "probe of node {node} cancelled at ball radius {radius}")
             }
             RuntimeError::UnsupportedTopology { reason } => {
                 write!(f, "unsupported topology: {reason}")
@@ -79,6 +92,10 @@ mod tests {
 
         let e = RuntimeError::NonTerminating { node: NodeId::new(4) };
         assert!(e.to_string().contains("v4"));
+
+        let e = RuntimeError::Cancelled { node: NodeId::new(6), radius: 2 };
+        assert!(e.to_string().contains("v6"));
+        assert!(e.to_string().contains("radius 2"));
 
         let e = RuntimeError::UnsupportedTopology { reason: "needs a cycle".into() };
         assert!(e.to_string().contains("needs a cycle"));

@@ -17,7 +17,9 @@
 use avglocal_graph::{CsrGraph, Graph, Identifier, NodeId};
 
 use crate::algorithm::BallAlgorithm;
-use crate::ball_executor::{probe_node_on_csr, BallExecution, BallExecutor};
+use crate::ball_executor::{
+    probe_node_on_csr, probe_node_on_csr_cancellable, BallExecution, BallExecutor,
+};
 use crate::error::Result;
 use crate::knowledge::Knowledge;
 use crate::scratch::ScratchPool;
@@ -137,6 +139,43 @@ impl FrozenExecutor {
         result
     }
 
+    /// Like [`FrozenExecutor::run_node`], but takes `&self` — so concurrent
+    /// queries can share one session behind an `Arc` — and polls `cancel`
+    /// cooperatively once per ball-growth step, with the radius the probe is
+    /// about to inspect.
+    ///
+    /// When the hook returns `true` the probe stops immediately with
+    /// [`crate::RuntimeError::Cancelled`]; a hook that never fires makes the
+    /// call bit-identical to [`FrozenExecutor::run_node`]. This is the probe
+    /// entry point of the service layer, which wires per-request deadline
+    /// budgets into the hook.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`FrozenExecutor::run_node`], plus
+    /// [`crate::RuntimeError::Cancelled`] when the hook fires.
+    pub fn run_node_with_cancel<A: BallAlgorithm>(
+        &self,
+        node: NodeId,
+        algorithm: &A,
+        knowledge: Knowledge,
+        cancel: &mut dyn FnMut(usize) -> bool,
+    ) -> Result<(A::Output, usize)> {
+        let hard_limit = self.max_radius.unwrap_or_else(|| self.csr.node_count());
+        let mut pooled = self.scratch_pool.checkout();
+        let (result, scratch) = probe_node_on_csr_cancellable(
+            &self.csr,
+            pooled.take(),
+            node,
+            algorithm,
+            &knowledge,
+            hard_limit,
+            cancel,
+        );
+        pooled.put(scratch);
+        result
+    }
+
     /// Runs `algorithm` on every node of the snapshot, with the same dynamic
     /// scheduling and deterministic results as [`BallExecutor::run`] — minus
     /// the per-call freeze, and with the session's warmed scratch buffers
@@ -237,6 +276,92 @@ mod tests {
         // The session still runs on its original identifier table.
         let run = session.run(&NaiveLargestId, Knowledge::none()).unwrap();
         assert_eq!(run.outputs().len(), 6);
+    }
+
+    #[test]
+    fn never_firing_cancel_hook_is_bit_identical_to_run_node() {
+        let mut g = generators::grid(4, 4).unwrap();
+        IdAssignment::Shuffled { seed: 5 }.apply(&mut g).unwrap();
+        let mut session = FrozenExecutor::new(&g);
+        for v in g.nodes() {
+            let plain = session.run_node(v, &NaiveLargestId, Knowledge::none()).unwrap();
+            let cancellable = session
+                .run_node_with_cancel(v, &NaiveLargestId, Knowledge::none(), &mut |_| false)
+                .unwrap();
+            assert_eq!(plain, cancellable, "node {v:?}");
+        }
+    }
+
+    #[test]
+    fn cancel_hook_sees_each_radius_once_and_stops_the_probe() {
+        struct DecideAtRadius(usize);
+        impl BallAlgorithm for DecideAtRadius {
+            type Output = usize;
+            fn decide(&self, view: &crate::LocalView, _knowledge: &Knowledge) -> Option<usize> {
+                (view.radius() >= self.0).then_some(view.radius())
+            }
+        }
+        let g = generators::cycle(40).unwrap();
+        let session = FrozenExecutor::new(&g);
+        let mut seen = Vec::new();
+        let err = session
+            .run_node_with_cancel(
+                NodeId::new(0),
+                &DecideAtRadius(10),
+                Knowledge::none(),
+                &mut |r| {
+                    seen.push(r);
+                    r >= 3
+                },
+            )
+            .unwrap_err();
+        assert_eq!(seen, vec![0, 1, 2, 3]);
+        assert!(matches!(err, RuntimeError::Cancelled { radius: 3, .. }), "{err}");
+    }
+
+    #[test]
+    fn immediate_cancellation_costs_no_growth() {
+        // A deadline that is already expired on admission cancels at radius 0
+        // before any ball is grown.
+        let g = generators::cycle(8).unwrap();
+        let session = FrozenExecutor::new(&g);
+        let err = session
+            .run_node_with_cancel(NodeId::new(2), &NaiveLargestId, Knowledge::none(), &mut |_| true)
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            RuntimeError::Cancelled { node, radius: 0 } if node == NodeId::new(2)
+        ));
+    }
+
+    #[test]
+    fn cancellable_probes_share_the_session_across_threads() {
+        // &self probing: many threads query one session concurrently and each
+        // gets the same answer as the sequential reference.
+        let mut g = generators::grid(5, 5).unwrap();
+        IdAssignment::Shuffled { seed: 9 }.apply(&mut g).unwrap();
+        let session = FrozenExecutor::new(&g);
+        let reference = session.run(&NaiveLargestId, Knowledge::none()).unwrap();
+        std::thread::scope(|scope| {
+            for t in 0..4 {
+                let session = &session;
+                let reference = &reference;
+                scope.spawn(move || {
+                    for v in (t..25).step_by(4).map(NodeId::new) {
+                        let (out, r) = session
+                            .run_node_with_cancel(
+                                v,
+                                &NaiveLargestId,
+                                Knowledge::none(),
+                                &mut |_| false,
+                            )
+                            .unwrap();
+                        assert_eq!(out, *reference.output(v));
+                        assert_eq!(r, reference.radius(v));
+                    }
+                });
+            }
+        });
     }
 
     #[test]

@@ -10,7 +10,9 @@
 //! * the panic (or typed error) re-thrown from a parallel run is the first
 //!   one **in node order**, deterministically, however chunks interleave;
 //! * a session remains fully usable — bit-identical results — after a
-//!   poisoned run.
+//!   poisoned run;
+//! * a worker killed *outside* any job boundary (`failpoints::kill_workers`)
+//!   is respawned by the pool supervisor and the pool keeps serving.
 //!
 //! CI runs this file under both `AVG_LOCAL_THREADS=1` (inline execution,
 //! where injected panics propagate directly) and `AVG_LOCAL_THREADS=4` (the
@@ -152,6 +154,41 @@ fn first_typed_error_in_node_order_survives_delay_injection() {
             let got = got.expect_err("refusing nodes must error");
             assert_eq!(got, want, "{scheduling:?}, round {round}");
         }
+    }
+}
+
+#[test]
+fn killed_workers_are_respawned_and_the_pool_keeps_serving() {
+    // Inline execution has no worker threads to kill; the supervisor path
+    // only exists on a real pool.
+    if rayon::current_num_threads() < 2 {
+        return;
+    }
+    let graph = shuffled_ring(256, 3);
+    let session = FrozenExecutor::new(&graph);
+    let baseline = session.run(&NaiveLargestId, Knowledge::none()).unwrap();
+
+    let before = rayon::pool::worker_respawn_count();
+    rayon::failpoints::kill_workers(2);
+
+    // Keep submitting jobs until both kill tokens have been consumed (each
+    // kills one worker at a job boundary) and the supervisor has respawned
+    // the casualties. Every run that completes meanwhile must stay
+    // bit-identical — a dying worker never corrupts or wedges a job.
+    let mut rounds = 0usize;
+    while rayon::pool::worker_respawn_count() < before + 2 {
+        let run = session.run(&NaiveLargestId, Knowledge::none()).unwrap();
+        assert_eq!(run.outputs(), baseline.outputs(), "round {rounds}");
+        assert_eq!(run.radii(), baseline.radii(), "round {rounds}");
+        rounds += 1;
+        assert!(rounds < 500, "kill tokens never consumed after {rounds} runs");
+    }
+
+    // The fully respawned pool still serves, bit-identically.
+    for round in 0..3 {
+        let after = session.run(&NaiveLargestId, Knowledge::none()).unwrap();
+        assert_eq!(after.outputs(), baseline.outputs(), "post-respawn round {round}");
+        assert_eq!(after.radii(), baseline.radii(), "post-respawn round {round}");
     }
 }
 

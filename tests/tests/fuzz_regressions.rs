@@ -7,6 +7,11 @@
 //!
 //! * `corpus/snapshot/*_valid.bin` must decode and round-trip bit-identically;
 //!   every other `.bin` must be rejected with `CorruptSnapshot` (no panics);
+//! * `corpus/snapshot_files/*.snap` are whole files as a crash can leave
+//!   them on disk (torn writes, zeroed pages, trailing garbage); read back
+//!   through `CsrGraph::read_from_path`, `*_valid.snap` must round-trip
+//!   bit-identically and everything else must be rejected with the typed
+//!   `CorruptSnapshot` — never a panic, never an untyped error;
 //! * `corpus/edge_list/*_valid.txt` must parse; `*_malformed_l<N>.txt` must
 //!   fail with `MalformedLine` on line `N`; `*_invalid.txt` must fail with a
 //!   builder-level error (the text itself is well-formed);
@@ -66,6 +71,28 @@ fn snapshot_corpus_replays_clean() {
                 assert!(offset <= bytes.len(), "{name}: error offset outside the input");
             }
             Err(other) => panic!("{name}: unexpected error variant: {other}"),
+        }
+    }
+}
+
+#[test]
+fn snapshot_file_corpus_replays_clean() {
+    for path in corpus_files("snapshot_files", "snap") {
+        let name = stem(&path).to_string();
+        let bytes = fs::read(&path).expect("corpus file is readable");
+        match CsrGraph::read_from_path(&path) {
+            Ok(decoded) => {
+                assert!(name.ends_with("_valid"), "{name}: torn file unexpectedly accepted");
+                assert_eq!(decoded.to_bytes(), bytes, "{name}: round-trip not bit-identical");
+            }
+            Err(GraphError::CorruptSnapshot { offset, reason }) => {
+                assert!(
+                    !name.ends_with("_valid"),
+                    "{name}: valid file rejected at byte {offset}: {reason}"
+                );
+                assert!(offset <= bytes.len(), "{name}: error offset outside the file");
+            }
+            Err(other) => panic!("{name}: expected CorruptSnapshot, got: {other}"),
         }
     }
 }
@@ -189,4 +216,29 @@ fn regenerate_derived_corpus() {
     bad_labels[labels_at] ^= 1;
     fix_checksum(&mut bad_labels);
     fs::write(dir.join("wrong_component_label.bin"), &bad_labels).unwrap();
+
+    // The on-disk torn-write corpus: whole files shaped like what a crash
+    // can leave behind for `CsrGraph::read_from_path` (the atomic-rename
+    // writer makes most of these unreachable in our own store, but recovery
+    // must survive foreign or pre-hardening files too).
+    let files = corpus_dir("snapshot_files");
+    fs::create_dir_all(&files).expect("corpus directory is writable");
+    let snap = generators::cycle(8).unwrap().freeze().to_bytes();
+    fs::write(files.join("ring8_valid.snap"), &snap).unwrap();
+    fs::write(files.join("crash_before_write_empty.snap"), b"").unwrap();
+    fs::write(files.join("torn_after_one_byte.snap"), &snap[..1]).unwrap();
+    fs::write(files.join("torn_mid_header.snap"), &snap[..16]).unwrap();
+    fs::write(files.join("torn_half.snap"), &snap[..snap.len() / 2]).unwrap();
+    fs::write(files.join("torn_tail.snap"), &snap[..snap.len() - 5]).unwrap();
+
+    let mut padded = snap.clone();
+    padded.extend_from_slice(&snap[..7]);
+    fs::write(files.join("trailing_garbage.snap"), &padded).unwrap();
+
+    // A page of zeros mid-file at full length — the classic torn sector.
+    let mut zeroed = snap.clone();
+    let from = zeroed.len() / 3;
+    let to = (from + 64).min(zeroed.len());
+    zeroed[from..to].fill(0);
+    fs::write(files.join("zeroed_page.snap"), &zeroed).unwrap();
 }
