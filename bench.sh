@@ -7,8 +7,11 @@
 # freeze block — parallel vs serial Graph::freeze — and the snapshot block —
 # CsrGraph::to_bytes vs the validating from_bytes, with bytes/edge density —
 # and the service block — sustained query load through the resilient
-# radius-query service vs raw probes, qps + p99 with a 3x overhead gate)
-# and refreshes BENCH_e1.json. The dedicated service harness is
+# radius-query service vs raw probes, qps + p99 with a 3x overhead gate —
+# and the service_batch block — the batched, sharded query_batch path vs a
+# single-query loop, gated at >= 2x batched throughput wherever the
+# machine has real parallelism) and refreshes BENCH_e1.json. The
+# dedicated service harness is
 # `cargo run --release -p avglocal-bench --bin service_load`.
 #
 # Pin the pool for reproducible timings: AVG_LOCAL_THREADS=4 ./bench.sh

@@ -2,9 +2,10 @@
 //!
 //! Runs the sustained reader load of `avglocal_bench::load` at a few sizes
 //! and prints queries/sec and latency quantiles for the service path next
-//! to the bare frozen-session baseline. The same numbers feed the `service`
-//! block of `BENCH_e1.json` (via `bench_e1`); this binary is the dedicated
-//! knob-turning harness.
+//! to the bare frozen-session baseline, then the **batched** query path
+//! next to the single-query path. The same numbers feed the `service` and
+//! `service_batch` blocks of `BENCH_e1.json` (via `bench_e1`); this binary
+//! is the dedicated knob-turning harness.
 //!
 //! ```text
 //! cargo run --release -p avglocal-bench --bin service_load             # full sizes
@@ -13,13 +14,13 @@
 //! ```
 //!
 //! `--check` exits non-zero if the service's per-query overhead exceeds its
-//! 3x budget at any size, or if the service and baseline paths disagree on
-//! any total radius (they must be bit-identical).
+//! 3x budget at any size, or if any two paths disagree on a total radius
+//! (single, batched and raw must be bit-identical).
 
 use std::env;
 use std::process::ExitCode;
 
-use avglocal_bench::load::{raw_probe_load, service_load, LoadConfig};
+use avglocal_bench::load::{raw_probe_load, service_batch_load, service_load, LoadConfig};
 
 /// Per-query overhead budget: the service path must sustain at least a
 /// third of the raw probe loop's throughput.
@@ -77,6 +78,41 @@ fn main() -> ExitCode {
             service.p99_us,
             service.max_us,
             overhead
+        );
+    }
+
+    // The batched path: one reader splitting the same population into
+    // whole-population batches, against one reader issuing single queries.
+    // The speedup column is the batching win the `service_batch` BENCH
+    // block gates (≥ 2x, on machines with real parallelism).
+    println!();
+    println!("batched load: query_batch sharding one reader's population across the pool");
+    println!(
+        "{:>6} {:>8} {:>9} {:>12} {:>12} {:>10} {:>10} {:>9}",
+        "nodes", "batch", "entries", "batch qps", "single qps", "b p99 us", "s p99 us", "speedup"
+    );
+    for config in configs {
+        let single_config = LoadConfig { readers: 1, ..*config };
+        let batch = config.nodes;
+        let batched = service_batch_load(&single_config, batch);
+        let single = service_load(&single_config);
+        if batched.total_radius != single.total_radius {
+            eprintln!(
+                "batched answers diverged from single queries at n={} ({} vs {})",
+                config.nodes, batched.total_radius, single.total_radius
+            );
+            failed = true;
+        }
+        println!(
+            "{:>6} {:>8} {:>9} {:>12.0} {:>12.0} {:>10} {:>10} {:>8.2}x",
+            config.nodes,
+            batch,
+            batched.completed,
+            batched.qps,
+            single.qps,
+            batched.p99_us,
+            single.p99_us,
+            batched.qps / single.qps
         );
     }
 

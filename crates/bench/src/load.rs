@@ -1,12 +1,14 @@
 //! Sustained-load generator for the resilient radius-query service.
 //!
 //! Drives a fixed number of reader threads through a fixed per-reader query
-//! script, against either the [`RadiusQueryService`] (admission, deadline
-//! accounting, epoch pinning) or the bare [`FrozenExecutor`] session the
-//! service wraps. Both paths walk the same node sequences, so their total
-//! radii must agree bit for bit — the difference in queries/sec is exactly
-//! the service layer's per-query overhead, which the `service` block of
-//! `BENCH_e1.json` records and gates.
+//! script, against the [`RadiusQueryService`] single-query path, its
+//! **batched** path ([`service_batch_load`]: the script chunked into
+//! `query_batch` requests sharded across the persistent pool), or the bare
+//! [`FrozenExecutor`] session the service wraps. All paths walk the same
+//! node sequences, so their total radii must agree bit for bit — the
+//! single-vs-raw qps gap is the service layer's per-query overhead (the
+//! `service` block of `BENCH_e1.json`), and the batched-vs-single gap is
+//! the batching win (the `service_batch` block).
 //!
 //! All timing flows through the service's [`WallClock`] (microsecond ticks
 //! behind the audited [`Clock`] seam), so this module itself stays free of
@@ -17,7 +19,9 @@ use std::sync::Arc;
 use avglocal::algorithms::LargestId;
 use avglocal::graph::{generators, NodeId};
 use avglocal::runtime::{FrozenExecutor, Knowledge};
-use avglocal_service::{Clock, RadiusQueryService, ServiceConfig, WallClock};
+use avglocal_service::{
+    Clock, QueryOptions, QueryRequest, RadiusQueryService, ServiceConfig, WallClock,
+};
 
 /// Shape of one load run: `readers` threads each issue
 /// `queries_per_reader` queries, round-robin over the nodes of a
@@ -36,19 +40,21 @@ pub struct LoadConfig {
 /// Outcome of one load run.
 #[derive(Debug, Clone, Copy)]
 pub struct LoadReport {
-    /// Queries that completed with an answer.
+    /// Node queries that completed with an answer (batched runs count every
+    /// batch entry).
     pub completed: u64,
     /// Sum of the returned ball radii (the cross-path agreement check).
     pub total_radius: u64,
     /// Wall time of the whole run, in clock ticks (µs).
     pub elapsed_us: u64,
-    /// Sustained completed queries per second.
+    /// Sustained completed node queries per second (batch entries count
+    /// individually, so single and batched runs are directly comparable).
     pub qps: f64,
-    /// Median per-query latency, µs.
+    /// Median per-request latency, µs (per batch in batched runs).
     pub p50_us: u64,
-    /// 99th-percentile per-query latency, µs.
+    /// 99th-percentile per-request latency, µs (per batch in batched runs).
     pub p99_us: u64,
-    /// Worst per-query latency, µs.
+    /// Worst per-request latency, µs.
     pub max_us: u64,
 }
 
@@ -72,14 +78,15 @@ fn report(
     started_us: u64,
     mut latencies: Vec<u64>,
     total_radius: u64,
+    completed: u64,
 ) -> LoadReport {
     let elapsed_us = clock.now().saturating_sub(started_us).max(1);
     latencies.sort_unstable();
     LoadReport {
-        completed: latencies.len() as u64,
+        completed,
         total_radius,
         elapsed_us,
-        qps: latencies.len() as f64 / (elapsed_us as f64 / 1e6),
+        qps: completed as f64 / (elapsed_us as f64 / 1e6),
         p50_us: quantile(&latencies, 0.50),
         p99_us: quantile(&latencies, 0.99),
         max_us: latencies.last().copied().unwrap_or(0),
@@ -137,7 +144,78 @@ pub fn service_load(config: &LoadConfig) -> LoadReport {
         latencies.extend(reader_latencies);
         total_radius += reader_radius;
     }
-    report(&clock, started, latencies, total_radius)
+    let completed = latencies.len() as u64;
+    report(&clock, started, latencies, total_radius, completed)
+}
+
+/// Runs the same per-reader node scripts through the **batched** query
+/// path: each reader splits its script into batches of `batch_size` nodes
+/// and issues one [`RadiusQueryService::query_batch`] per batch — one
+/// admission slot and one generation pin per batch, the node set sharded
+/// across the persistent pool.
+///
+/// The walked node multiset is identical to [`service_load`] on the same
+/// config, so `total_radius` must agree bit for bit across the two paths;
+/// the qps difference is the batching win the `service_batch` block of
+/// `BENCH_e1.json` records and gates.
+///
+/// # Panics
+///
+/// Panics if the cycle cannot be built, a batch is shed, or any batch
+/// entry fails — under this load shape (unbounded deadline, in-bounds
+/// nodes) every entry must complete.
+#[must_use]
+pub fn service_batch_load(config: &LoadConfig, batch_size: usize) -> LoadReport {
+    let csr = generators::cycle(config.nodes).expect("load cycles are valid").freeze();
+    let service_config =
+        ServiceConfig { max_in_flight: config.readers.max(1) * 2, ..ServiceConfig::default() };
+    let clock = WallClock::new();
+    let service = RadiusQueryService::new(
+        LargestId,
+        Knowledge::none(),
+        csr,
+        Arc::new(WallClock::new()),
+        service_config,
+    );
+    let batch_size = batch_size.max(1);
+    let started = clock.now();
+    let per_reader = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..config.readers)
+            .map(|reader| {
+                let service = &service;
+                let clock = &clock;
+                scope.spawn(move || {
+                    let script: Vec<NodeId> = reader_script(config, reader).collect();
+                    let mut latencies = Vec::with_capacity(script.len().div_ceil(batch_size));
+                    let mut total_radius = 0u64;
+                    let mut completed = 0u64;
+                    for chunk in script.chunks(batch_size) {
+                        let request = QueryRequest::nodes(chunk.to_vec(), QueryOptions::new());
+                        let before = clock.now();
+                        let reply = service.query_batch(&request).expect("load batches admit");
+                        latencies.push(clock.now().saturating_sub(before));
+                        let radii = reply.radii().expect("load batch entries complete");
+                        total_radius += radii.iter().map(|&r| r as u64).sum::<u64>();
+                        completed += radii.len() as u64;
+                    }
+                    (latencies, total_radius, completed)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("load readers do not panic"))
+            .collect::<Vec<_>>()
+    });
+    let mut latencies = Vec::new();
+    let mut total_radius = 0u64;
+    let mut completed = 0u64;
+    for (reader_latencies, reader_radius, reader_completed) in per_reader {
+        latencies.extend(reader_latencies);
+        total_radius += reader_radius;
+        completed += reader_completed;
+    }
+    report(&clock, started, latencies, total_radius, completed)
 }
 
 /// Runs the identical load straight on a shared [`FrozenExecutor`] session:
@@ -186,7 +264,8 @@ pub fn raw_probe_load(config: &LoadConfig) -> LoadReport {
         latencies.extend(reader_latencies);
         total_radius += reader_radius;
     }
-    report(&clock, started, latencies, total_radius)
+    let completed = latencies.len() as u64;
+    report(&clock, started, latencies, total_radius, completed)
 }
 
 #[cfg(test)]
@@ -202,6 +281,16 @@ mod tests {
         assert_eq!(service.total_radius, raw.total_radius);
         assert_eq!(service.completed, 32);
         assert_eq!(raw.completed, 32);
+    }
+
+    #[test]
+    fn batched_path_agrees_with_the_single_query_path() {
+        let single = service_load(&SMALL);
+        for batch_size in [1usize, 5, 16, 100] {
+            let batched = service_batch_load(&SMALL, batch_size);
+            assert_eq!(batched.total_radius, single.total_radius, "batch_size {batch_size}");
+            assert_eq!(batched.completed, 32, "batch_size {batch_size}");
+        }
     }
 
     #[test]

@@ -53,14 +53,18 @@
 //!   dynamic updates) as measurable quantities;
 //! * [`report`] — plain-text/CSV tables used by the benchmark binary;
 //! * [`service`] — the resilient long-lived radius-query service layer
-//!   (epoch-published snapshots, deadlines, load shedding, crash-safe
-//!   persistence; re-exported from `avglocal-service`).
+//!   (epoch-published snapshots, deadlines, load shedding, batched sharded
+//!   queries, crash-safe persistence; re-exported from `avglocal-service`);
+//! * [`aggregate`] — distributional endpoints over the service's batched
+//!   query path ([`AggregateQueries`]): a whole generation's CDF, quantile
+//!   or [`MeasureSet`] as one admitted service call on one pinned epoch.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
 pub mod adversary;
+pub mod aggregate;
 pub mod cdf;
 mod error;
 pub mod experiment;
@@ -75,6 +79,7 @@ pub mod theory;
 pub use adversary::{
     hub_adversarial_assignment, section3_assignment, top_hub, AdversaryResult, AdversarySearch,
 };
+pub use aggregate::{AggregateQueries, CdfReply, MeasuresReply, QuantileReply};
 pub use cdf::RadiusCdf;
 pub use error::{CoreError, Result};
 pub use experiment::{
@@ -98,6 +103,7 @@ pub mod prelude {
     pub use crate::adversary::{
         hub_adversarial_assignment, section3_assignment, top_hub, AdversarySearch,
     };
+    pub use crate::aggregate::AggregateQueries;
     pub use crate::cdf::RadiusCdf;
     pub use crate::experiment::{
         cycle_with_assignment, random_permutation_study, random_permutation_study_on, run_on_cycle,

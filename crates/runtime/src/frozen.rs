@@ -14,15 +14,117 @@
 //! adjacency, so the session also supports swapping the identifier table in
 //! `O(n)` via [`FrozenExecutor::set_identifiers`] instead of re-freezing.
 
-use avglocal_graph::{CsrGraph, Graph, Identifier, NodeId};
+use std::fmt;
+
+use avglocal_graph::{CsrGraph, Graph, GraphError, Identifier, NodeId};
+use rayon::prelude::*;
 
 use crate::algorithm::BallAlgorithm;
 use crate::ball_executor::{
-    probe_node_on_csr, probe_node_on_csr_cancellable, BallExecution, BallExecutor,
+    probe_node_on_csr_cancellable, BallExecution, BallExecutor, Scheduling,
 };
-use crate::error::Result;
+use crate::error::{Result, RuntimeError};
 use crate::knowledge::Knowledge;
 use crate::scratch::ScratchPool;
+
+/// Options of a single-node probe ([`FrozenExecutor::run_node_with`]): the
+/// one probe path behind [`FrozenExecutor::run_node`] and
+/// [`FrozenExecutor::run_node_with_cancel`], which are thin wrappers that
+/// fill these in.
+///
+/// The default options probe to completion with no cancellation hook —
+/// bit-identical to the historical `run_node`.
+#[derive(Default)]
+pub struct ProbeOptions<'c> {
+    cancel: Option<&'c mut dyn FnMut(usize) -> bool>,
+}
+
+impl<'c> ProbeOptions<'c> {
+    /// Options that probe to completion (no cancellation).
+    #[must_use]
+    pub fn new() -> Self {
+        ProbeOptions::default()
+    }
+
+    /// Polls `cancel` cooperatively once per ball-growth step, with the
+    /// radius the probe is about to inspect; a `true` return stops the probe
+    /// with [`RuntimeError::Cancelled`]. A hook that never fires leaves the
+    /// probe bit-identical to the hook-less options.
+    #[must_use]
+    pub fn with_cancel(mut self, cancel: &'c mut dyn FnMut(usize) -> bool) -> Self {
+        self.cancel = Some(cancel);
+        self
+    }
+}
+
+impl fmt::Debug for ProbeOptions<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ProbeOptions").field("cancel", &self.cancel.is_some()).finish()
+    }
+}
+
+/// Options of a sharded multi-node probe ([`FrozenExecutor::run_nodes_with`]):
+/// how the requested node set is distributed over the persistent pool, and an
+/// optional shared cancellation hook polled by every participant.
+#[derive(Clone, Copy)]
+pub struct NodeBatchOptions<'c> {
+    scheduling: Scheduling,
+    shard: usize,
+    cancel: Option<&'c (dyn Fn(usize) -> bool + Sync)>,
+}
+
+impl Default for NodeBatchOptions<'_> {
+    fn default() -> Self {
+        NodeBatchOptions { scheduling: Scheduling::default(), shard: 1, cancel: None }
+    }
+}
+
+impl<'c> NodeBatchOptions<'c> {
+    /// Per-node dynamic chunks on the work-stealing pool, no cancellation.
+    #[must_use]
+    pub fn new() -> Self {
+        NodeBatchOptions::default()
+    }
+
+    /// How the shards are distributed over the threads (the same knob as
+    /// [`BallExecutor::with_scheduling`]).
+    #[must_use]
+    pub fn with_scheduling(mut self, scheduling: Scheduling) -> Self {
+        self.scheduling = scheduling;
+        self
+    }
+
+    /// Nodes per dynamically claimed shard (minimum 1). Shards are
+    /// contiguous runs of the requested node list; the pool's chunk cursor
+    /// hands them out dynamically, so a shard with one expensive node stalls
+    /// only itself. `1` (the default) is pure per-node scheduling.
+    #[must_use]
+    pub fn with_shard(mut self, shard: usize) -> Self {
+        self.shard = shard.max(1);
+        self
+    }
+
+    /// A shared cancellation hook, polled cooperatively by **every**
+    /// participant once per ball-growth step — the batch-wide deadline seam
+    /// of the service layer. Cancelled probes report
+    /// [`RuntimeError::Cancelled`] in their result slot; completed slots are
+    /// unaffected and stay bit-identical to an uncancelled run.
+    #[must_use]
+    pub fn with_cancel(mut self, cancel: &'c (dyn Fn(usize) -> bool + Sync)) -> Self {
+        self.cancel = Some(cancel);
+        self
+    }
+}
+
+impl fmt::Debug for NodeBatchOptions<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("NodeBatchOptions")
+            .field("scheduling", &self.scheduling)
+            .field("shard", &self.shard)
+            .field("cancel", &self.cancel.is_some())
+            .finish()
+    }
+}
 
 /// A reusable execution session over one frozen graph snapshot.
 ///
@@ -38,7 +140,7 @@ use crate::scratch::ScratchPool;
 /// IdAssignment::Shuffled { seed: 7 }.apply(&mut ring)?;
 ///
 /// // Freeze once; every probe after the first is O(ball).
-/// let mut session = FrozenExecutor::new(&ring);
+/// let session = FrozenExecutor::new(&ring);
 /// for v in ring.nodes() {
 ///     let (out, r) = session.run_node(v, &NaiveLargestId, Knowledge::none())?;
 ///     let (expected_out, expected_r) =
@@ -115,7 +217,11 @@ impl FrozenExecutor {
         self.csr.try_set_identifiers(identifiers).map_err(crate::RuntimeError::Graph)
     }
 
-    /// Runs `algorithm` for a single node and returns `(output, radius)`.
+    /// Runs `algorithm` for a single node under `options` and returns
+    /// `(output, radius)` — **the** single-node probe path of the session.
+    /// Takes `&self`, so concurrent queries can share one session behind an
+    /// `Arc`; [`FrozenExecutor::run_node`] and
+    /// [`FrozenExecutor::run_node_with_cancel`] are thin wrappers over this.
     ///
     /// Identical, probe for probe, to [`BallExecutor::run_node`], but the
     /// snapshot is frozen once per session and the grower buffers are reused
@@ -124,44 +230,19 @@ impl FrozenExecutor {
     ///
     /// # Errors
     ///
-    /// Same conditions as [`BallExecutor::run_node`].
-    pub fn run_node<A: BallAlgorithm>(
-        &mut self,
-        node: NodeId,
-        algorithm: &A,
-        knowledge: Knowledge,
-    ) -> Result<(A::Output, usize)> {
-        let hard_limit = self.max_radius.unwrap_or_else(|| self.csr.node_count());
-        let mut pooled = self.scratch_pool.checkout();
-        let (result, scratch) =
-            probe_node_on_csr(&self.csr, pooled.take(), node, algorithm, &knowledge, hard_limit);
-        pooled.put(scratch);
-        result
-    }
-
-    /// Like [`FrozenExecutor::run_node`], but takes `&self` — so concurrent
-    /// queries can share one session behind an `Arc` — and polls `cancel`
-    /// cooperatively once per ball-growth step, with the radius the probe is
-    /// about to inspect.
-    ///
-    /// When the hook returns `true` the probe stops immediately with
-    /// [`crate::RuntimeError::Cancelled`]; a hook that never fires makes the
-    /// call bit-identical to [`FrozenExecutor::run_node`]. This is the probe
-    /// entry point of the service layer, which wires per-request deadline
-    /// budgets into the hook.
-    ///
-    /// # Errors
-    ///
-    /// Same conditions as [`FrozenExecutor::run_node`], plus
-    /// [`crate::RuntimeError::Cancelled`] when the hook fires.
-    pub fn run_node_with_cancel<A: BallAlgorithm>(
+    /// Same conditions as [`BallExecutor::run_node`], plus
+    /// [`crate::RuntimeError::Cancelled`] when the options' cancellation
+    /// hook fires.
+    pub fn run_node_with<A: BallAlgorithm>(
         &self,
         node: NodeId,
         algorithm: &A,
         knowledge: Knowledge,
-        cancel: &mut dyn FnMut(usize) -> bool,
+        options: ProbeOptions<'_>,
     ) -> Result<(A::Output, usize)> {
         let hard_limit = self.max_radius.unwrap_or_else(|| self.csr.node_count());
+        let mut never = |_: usize| false;
+        let cancel = options.cancel.unwrap_or(&mut never);
         let mut pooled = self.scratch_pool.checkout();
         let (result, scratch) = probe_node_on_csr_cancellable(
             &self.csr,
@@ -174,6 +255,130 @@ impl FrozenExecutor {
         );
         pooled.put(scratch);
         result
+    }
+
+    /// [`FrozenExecutor::run_node_with`] with the default options (probe to
+    /// completion, no cancellation hook).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`BallExecutor::run_node`].
+    pub fn run_node<A: BallAlgorithm>(
+        &self,
+        node: NodeId,
+        algorithm: &A,
+        knowledge: Knowledge,
+    ) -> Result<(A::Output, usize)> {
+        self.run_node_with(node, algorithm, knowledge, ProbeOptions::new())
+    }
+
+    /// [`FrozenExecutor::run_node_with`] with a cancellation hook, polled
+    /// cooperatively once per ball-growth step with the radius the probe is
+    /// about to inspect.
+    ///
+    /// When the hook returns `true` the probe stops immediately with
+    /// [`crate::RuntimeError::Cancelled`]; a hook that never fires makes the
+    /// call bit-identical to [`FrozenExecutor::run_node`]. This is the
+    /// single-query probe entry point of the service layer, which wires
+    /// per-request deadline budgets into the hook.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`FrozenExecutor::run_node`], plus
+    /// [`crate::RuntimeError::Cancelled`] when the hook fires.
+    pub fn run_node_with_cancel<A: BallAlgorithm>(
+        &self,
+        node: NodeId,
+        algorithm: &A,
+        knowledge: Knowledge,
+        cancel: &mut dyn FnMut(usize) -> bool,
+    ) -> Result<(A::Output, usize)> {
+        self.run_node_with(node, algorithm, knowledge, ProbeOptions::new().with_cancel(cancel))
+    }
+
+    /// Probes an arbitrary **set** of nodes on the shared session, sharded
+    /// across the persistent worker pool — the batched counterpart of
+    /// [`FrozenExecutor::run_node_with`] and the probe engine of the service
+    /// layer's `query_batch`.
+    ///
+    /// The node list is cut into contiguous shards of
+    /// [`NodeBatchOptions::with_shard`] nodes; shards are claimed dynamically
+    /// from the pool's atomic chunk cursor (or statically partitioned under
+    /// [`Scheduling::StaticChunks`]), and each participant reuses one warmed
+    /// [`avglocal_graph::GrowerScratch`] across every shard it claims — the
+    /// same `run_frozen`-style scheduling and zero-steady-state-allocation
+    /// discipline as the full runs.
+    ///
+    /// Returns one result per requested node, **index-addressed** (slot `i`
+    /// answers `nodes[i]`), so results are deterministic by position no
+    /// matter how shards are stolen: every completed slot is bit-identical
+    /// to a sequential [`FrozenExecutor::run_node`] on the same snapshot.
+    /// A shared cancellation hook ([`NodeBatchOptions::with_cancel`]) marks
+    /// slots it interrupts with [`RuntimeError::Cancelled`]; out-of-bounds
+    /// nodes report [`GraphError::NodeOutOfBounds`] in their slot without
+    /// disturbing the others.
+    #[must_use]
+    pub fn run_nodes_with<A>(
+        &self,
+        nodes: &[NodeId],
+        algorithm: &A,
+        knowledge: Knowledge,
+        options: &NodeBatchOptions<'_>,
+    ) -> Vec<Result<(A::Output, usize)>>
+    where
+        A: BallAlgorithm + Sync,
+        A::Output: Send,
+    {
+        if nodes.is_empty() {
+            return Vec::new();
+        }
+        let hard_limit = self.max_radius.unwrap_or_else(|| self.csr.node_count());
+        let node_count = self.csr.node_count();
+        let shard = options.shard.max(1);
+        let shards = nodes.len().div_ceil(shard);
+        let probe_shard = |pooled: &mut crate::scratch::PooledScratch<'_>, s: usize| {
+            let lo = s * shard;
+            let hi = (lo + shard).min(nodes.len());
+            nodes[lo..hi]
+                .iter()
+                .map(|&node| {
+                    if node.index() >= node_count {
+                        return Err(RuntimeError::Graph(GraphError::NodeOutOfBounds {
+                            node,
+                            node_count,
+                        }));
+                    }
+                    let mut hook = |radius: usize| options.cancel.is_some_and(|c| c(radius));
+                    let (result, scratch) = probe_node_on_csr_cancellable(
+                        &self.csr,
+                        pooled.take(),
+                        node,
+                        algorithm,
+                        &knowledge,
+                        hard_limit,
+                        &mut hook,
+                    );
+                    pooled.put(scratch);
+                    result
+                })
+                .collect::<Vec<_>>()
+        };
+        type ShardResults<O> = Vec<Vec<Result<(O, usize)>>>;
+        let per_shard: ShardResults<A::Output> = match options.scheduling {
+            Scheduling::WorkStealing => (0..shards)
+                .into_par_iter()
+                .map_init(|| self.scratch_pool.checkout(), probe_shard)
+                .collect(),
+            Scheduling::StaticChunks => rayon::pool::baseline::static_chunked(
+                shards,
+                rayon::current_num_threads(),
+                || self.scratch_pool.checkout(),
+                probe_shard,
+            ),
+        };
+        // Shard `s` covers the contiguous slice `s*shard..`, so flattening
+        // in shard order restores the request's node order exactly.
+        per_shard.into_iter().flatten().collect()
     }
 
     /// Runs `algorithm` on every node of the snapshot, with the same dynamic
@@ -218,7 +423,7 @@ mod tests {
         for topology in topologies {
             let mut g = topology.build(18).unwrap();
             IdAssignment::Shuffled { seed: 11 }.apply(&mut g).unwrap();
-            let mut session = FrozenExecutor::new(&g);
+            let session = FrozenExecutor::new(&g);
             for v in g.nodes() {
                 let fresh = BallExecutor::new()
                     .run_node(&g, v, &NaiveLargestId, Knowledge::none())
@@ -282,7 +487,7 @@ mod tests {
     fn never_firing_cancel_hook_is_bit_identical_to_run_node() {
         let mut g = generators::grid(4, 4).unwrap();
         IdAssignment::Shuffled { seed: 5 }.apply(&mut g).unwrap();
-        let mut session = FrozenExecutor::new(&g);
+        let session = FrozenExecutor::new(&g);
         for v in g.nodes() {
             let plain = session.run_node(v, &NaiveLargestId, Knowledge::none()).unwrap();
             let cancellable = session
@@ -365,6 +570,108 @@ mod tests {
     }
 
     #[test]
+    fn run_nodes_with_matches_single_probes_on_every_scheduling() {
+        let mut g = generators::grid(4, 5).unwrap();
+        IdAssignment::Shuffled { seed: 3 }.apply(&mut g).unwrap();
+        let session = FrozenExecutor::new(&g);
+        // An arbitrary, repetitive, out-of-order node set: slots must answer
+        // positionally, duplicates included.
+        let nodes: Vec<NodeId> = [7usize, 0, 19, 3, 3, 12, 8, 1, 19].map(NodeId::new).to_vec();
+        for scheduling in [Scheduling::WorkStealing, Scheduling::StaticChunks] {
+            for shard in [1usize, 2, 4, 64] {
+                let options = NodeBatchOptions::new().with_scheduling(scheduling).with_shard(shard);
+                let batch =
+                    session.run_nodes_with(&nodes, &NaiveLargestId, Knowledge::none(), &options);
+                assert_eq!(batch.len(), nodes.len());
+                for (slot, &node) in batch.iter().zip(&nodes) {
+                    let single =
+                        session.run_node(node, &NaiveLargestId, Knowledge::none()).unwrap();
+                    assert_eq!(
+                        slot.as_ref().unwrap(),
+                        &single,
+                        "{scheduling:?} shard={shard} node {node:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn run_nodes_with_reports_out_of_bounds_per_slot() {
+        let g = generators::cycle(6).unwrap();
+        let session = FrozenExecutor::new(&g);
+        let nodes = [NodeId::new(2), NodeId::new(6), NodeId::new(5)];
+        let batch =
+            session.run_nodes_with(&nodes, &NaiveLargestId, Knowledge::none(), &Default::default());
+        assert!(batch[0].is_ok());
+        assert!(matches!(
+            batch[1],
+            Err(RuntimeError::Graph(avglocal_graph::GraphError::NodeOutOfBounds {
+                node_count: 6,
+                ..
+            }))
+        ));
+        assert!(batch[2].is_ok(), "a bad slot must not disturb its neighbours");
+    }
+
+    #[test]
+    fn run_nodes_with_shared_cancel_marks_cancelled_slots_only() {
+        let g = generators::cycle(40).unwrap();
+        let session = FrozenExecutor::new(&g);
+        let nodes: Vec<NodeId> = (0..40).map(NodeId::new).collect();
+        // Cancel every probe before it can grow past radius 1: the cycle's
+        // largest-ID losers decide at radius 1 and complete; deeper probes
+        // are cancelled.
+        let cancel = |radius: usize| radius >= 2;
+        let options = NodeBatchOptions::new().with_cancel(&cancel);
+        let batch = session.run_nodes_with(&nodes, &NaiveLargestId, Knowledge::none(), &options);
+        let cancelled = batch
+            .iter()
+            .filter(|r| matches!(r, Err(RuntimeError::Cancelled { radius: 2, .. })))
+            .count();
+        let completed = batch.iter().filter(|r| r.is_ok()).count();
+        assert_eq!(cancelled + completed, 40);
+        assert!(cancelled >= 1, "the winner needs radius 20 and must be cancelled");
+        // Completed slots are bit-identical to uncancelled single probes.
+        for (slot, &node) in batch.iter().zip(&nodes) {
+            if let Ok(got) = slot {
+                let want = session.run_node(node, &NaiveLargestId, Knowledge::none()).unwrap();
+                assert_eq!(*got, want);
+            }
+        }
+    }
+
+    #[test]
+    fn run_nodes_with_empty_request_is_empty() {
+        let g = generators::cycle(4).unwrap();
+        let session = FrozenExecutor::new(&g);
+        let batch: Vec<_> =
+            session.run_nodes_with(&[], &NaiveLargestId, Knowledge::none(), &Default::default());
+        assert!(batch.is_empty());
+    }
+
+    #[test]
+    fn run_node_with_is_the_one_probe_path() {
+        // The two public wrappers and the merged entry point agree bit for
+        // bit, hook or no hook.
+        let mut g = generators::cycle(24).unwrap();
+        IdAssignment::Shuffled { seed: 8 }.apply(&mut g).unwrap();
+        let session = FrozenExecutor::new(&g);
+        for v in g.nodes() {
+            let merged = session
+                .run_node_with(v, &NaiveLargestId, Knowledge::none(), ProbeOptions::new())
+                .unwrap();
+            let plain = session.run_node(v, &NaiveLargestId, Knowledge::none()).unwrap();
+            let mut hook = |_: usize| false;
+            let cancellable = session
+                .run_node_with_cancel(v, &NaiveLargestId, Knowledge::none(), &mut hook)
+                .unwrap();
+            assert_eq!(merged, plain);
+            assert_eq!(merged, cancellable);
+        }
+    }
+
+    #[test]
     fn max_radius_is_enforced_in_the_session() {
         struct DecideAtRadius(usize);
         impl BallAlgorithm for DecideAtRadius {
@@ -374,7 +681,7 @@ mod tests {
             }
         }
         let g = generators::cycle(30).unwrap();
-        let mut session = FrozenExecutor::new(&g).with_max_radius(3);
+        let session = FrozenExecutor::new(&g).with_max_radius(3);
         let err =
             session.run_node(NodeId::new(0), &DecideAtRadius(10), Knowledge::none()).unwrap_err();
         assert!(matches!(err, RuntimeError::RoundLimitExceeded { limit: 3, .. }));

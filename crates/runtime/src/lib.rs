@@ -79,7 +79,7 @@ pub use algorithm::{BallAlgorithm, NodeContext, RoundAlgorithm};
 pub use ball_executor::{BallExecution, BallExecutor, GrowthStrategy, Scheduling};
 pub use error::{Result, RuntimeError};
 pub use executor::{Execution, SyncExecutor};
-pub use frozen::FrozenExecutor;
+pub use frozen::{FrozenExecutor, NodeBatchOptions, ProbeOptions};
 pub use knowledge::Knowledge;
 pub use message::{broadcast, Envelope};
 pub use trace::{RoundStats, Trace};

@@ -6,7 +6,11 @@
 //! and injected worker kills — then checks the service's core promise: a
 //! request is either **shed or failed with a typed error**, or it completes
 //! with an answer **bit-identical** to the sequential reference execution on
-//! the generation (epoch) it reports it was served from.
+//! the generation (epoch) it reports it was served from. Scripted reader
+//! turns include **batched queries** racing the same storms: deadline storms
+//! mid-batch must yield fully-expired typed partial replies, and every
+//! *completed* batch entry is held to the same bit-identity invariant as a
+//! single query.
 //!
 //! Everything that must be reproducible is: the publish schedule, the
 //! per-reader query scripts, and the epoch → graph mapping are all derived
@@ -24,9 +28,11 @@ use avglocal_runtime::examples::NaiveLargestId;
 use avglocal_runtime::{BallExecution, BallExecutor, Knowledge};
 use rayon::prelude::*;
 
+use crate::batch::{BatchOutcome, Consistency, QueryOptions, QueryRequest};
 use crate::clock::TestClock;
+use crate::config::ServiceConfig;
 use crate::error::ServiceError;
-use crate::service::{RadiusQueryService, ServiceConfig};
+use crate::service::RadiusQueryService;
 
 /// The script of one chaos run. Cadences are "every k-th" (0 = never).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -57,6 +63,14 @@ pub struct ChaosPlan {
     /// Every `latest_every`-th query runs in latest-generation mode (may
     /// surface typed staleness under heavy swapping).
     pub latest_every: usize,
+    /// Every `batch_every`-th query turn issues a batched query instead of
+    /// a single one. Every 3rd batch turn is a **deadline storm** (an
+    /// already-expired shared budget: every entry must come back
+    /// `Expired { radius: 0 }`), and every 2nd non-storm batch turn runs
+    /// under latest consistency so swaps race whole batches.
+    pub batch_every: usize,
+    /// Nodes per batched query (scripted, duplicates allowed).
+    pub batch_size: usize,
     /// Admission bound; small values exercise typed load shedding.
     pub max_in_flight: usize,
 }
@@ -74,6 +88,8 @@ impl Default for ChaosPlan {
             kill_every: 11,
             deadline_every: 13,
             latest_every: 3,
+            batch_every: 6,
+            batch_size: 12,
             max_in_flight: 8,
         }
     }
@@ -105,6 +121,12 @@ pub struct ChaosReport {
     pub publish_panicked: usize,
     /// Worker kills injected into the pool during the run.
     pub worker_kills: usize,
+    /// Batched queries that were admitted and replied.
+    pub batches: usize,
+    /// Total entries across admitted batches.
+    pub batch_entries: usize,
+    /// Batch entries cancelled by a shared deadline (typed, partial reply).
+    pub batch_expired: usize,
 }
 
 /// splitmix64: the harness's deterministic number stream.
@@ -221,6 +243,18 @@ pub fn run_chaos(plan: &ChaosPlan) -> ChaosReport {
                     let mut rng = plan.seed ^ (reader as u64).wrapping_mul(0xd134_2543_de82_ef95);
                     let mut local = ChaosReport::default();
                     for q in 1..=plan.queries_per_reader {
+                        if plan.batch_every > 0 && q % plan.batch_every == 0 {
+                            batch_turn(
+                                plan,
+                                service,
+                                references,
+                                epoch_graph,
+                                &mut rng,
+                                q,
+                                &mut local,
+                            );
+                            continue;
+                        }
                         let node = NodeId::new(splitmix64(&mut rng) as usize % plan.nodes);
                         let result = if plan.deadline_every > 0 && q % plan.deadline_every == 0 {
                             // Already-expired budget: a scripted deadline
@@ -304,9 +338,75 @@ pub fn run_chaos(plan: &ChaosPlan) -> ChaosReport {
             report.deadline_expired += local.deadline_expired;
             report.stale += local.stale;
             report.unexpected_errors += local.unexpected_errors;
+            report.batches += local.batches;
+            report.batch_entries += local.batch_entries;
+            report.batch_expired += local.batch_expired;
         }
     });
     report
+}
+
+/// One scripted batch turn of a chaos reader: a batched query racing the
+/// publisher's swap/fault storm, checked entry by entry.
+///
+/// Storm turns (every 3rd) ship an already-expired shared budget — with the
+/// frozen test clock, every entry must come back `Expired { radius: 0 }`.
+/// Every 2nd non-storm turn demands latest consistency, so a swap landing
+/// mid-batch forces a whole-batch re-probe (or typed staleness). Completed
+/// entries must always be bit-identical to the sequential reference on the
+/// epoch the reply reports.
+fn batch_turn(
+    plan: &ChaosPlan,
+    service: &RadiusQueryService<NaiveLargestId>,
+    references: &[BallExecution<bool>],
+    epoch_graph: &[usize],
+    rng: &mut u64,
+    q: usize,
+    local: &mut ChaosReport,
+) {
+    let nodes: Vec<NodeId> = (0..plan.batch_size.max(1))
+        .map(|_| NodeId::new(splitmix64(rng) as usize % plan.nodes))
+        .collect();
+    let turn = q / plan.batch_every;
+    let storm = plan.deadline_every > 0 && turn.is_multiple_of(3);
+    let mut options = QueryOptions::new();
+    if storm {
+        options = options.with_deadline(0);
+    } else if plan.latest_every > 0 && turn.is_multiple_of(2) {
+        options = options.with_consistency(Consistency::Latest { retry_limit: 3 });
+    }
+    match service.query_batch(&QueryRequest::nodes(nodes, options)) {
+        Ok(reply) => {
+            local.batches += 1;
+            local.batch_entries += reply.len();
+            local.batch_expired += reply.expired();
+            if storm {
+                let all_expired_at_zero = reply
+                    .outcomes()
+                    .iter()
+                    .all(|o| matches!(o, BatchOutcome::Expired { radius: 0 }));
+                if !all_expired_at_zero {
+                    local.unexpected_errors += 1;
+                }
+            }
+            let reference = &references[epoch_graph[(reply.epoch() - 1) as usize]];
+            for (node, outcome) in reply.nodes().iter().zip(reply.outcomes()) {
+                match outcome {
+                    BatchOutcome::Completed { output, radius } => {
+                        local.completed += 1;
+                        if output != reference.output(*node) || *radius != reference.radius(*node) {
+                            local.mismatches += 1;
+                        }
+                    }
+                    BatchOutcome::Expired { .. } => {}
+                    BatchOutcome::Failed(_) => local.unexpected_errors += 1,
+                }
+            }
+        }
+        Err(ServiceError::Overloaded { .. }) => local.shed += 1,
+        Err(ServiceError::StaleGeneration { .. }) => local.stale += 1,
+        Err(_) => local.unexpected_errors += 1,
+    }
 }
 
 #[cfg(test)]
@@ -356,5 +456,7 @@ mod tests {
         assert!(report.publish_rejected > 0, "{report:?}");
         assert!(report.publish_panicked > 0, "{report:?}");
         assert!(report.deadline_expired > 0, "{report:?}");
+        assert!(report.batches > 0, "{report:?}");
+        assert!(report.batch_expired > 0, "{report:?}");
     }
 }

@@ -9,7 +9,16 @@
 //!   mutex-guarded `Arc` swap publishes, failed candidates roll back),
 //!   bounded admission with typed load shedding, per-request deadline
 //!   budgets enforced by cooperative cancellation, and bounded
-//!   retry-with-backoff for latest-generation queries;
+//!   retry-with-backoff for latest-consistency queries. Single queries and
+//!   batches share one [`QueryOptions`]-driven implementation path;
+//! * [`RadiusQueryService::query_batch`] — batched, sharded queries behind
+//!   a unified [`QueryRequest`]: one pinned generation, one admission slot
+//!   and one cooperative deadline per batch, the node set sharded across
+//!   the persistent pool, and a typed partial [`BatchReply`] when the
+//!   deadline expires mid-batch;
+//! * [`ServiceConfig::builder`] — validated construction rejecting the
+//!   degenerate tunables a struct literal silently accepts
+//!   ([`InvalidConfig`]);
 //! * [`SnapshotStore`] — crash-safe on-disk persistence of generations
 //!   (write-temp + fsync + atomic rename) with deterministic recovery to
 //!   the last durable generation after a torn write;
@@ -27,13 +36,17 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+mod batch;
 pub mod chaos;
 mod clock;
+mod config;
 mod error;
 mod service;
 mod store;
 
+pub use batch::{BatchOutcome, BatchReply, Consistency, NodeSelection, QueryOptions, QueryRequest};
 pub use clock::{Clock, TestClock, WallClock};
+pub use config::{InvalidConfig, ServiceConfig, ServiceConfigBuilder};
 pub use error::{Result, ServiceError};
-pub use service::{Generation, QueryReply, RadiusQueryService, ServiceConfig, StatsSnapshot};
+pub use service::{Generation, QueryReply, RadiusQueryService, StatsSnapshot};
 pub use store::{Recovery, SnapshotStore};

@@ -26,12 +26,21 @@
 //! Admission is bounded: at most `max_in_flight` requests hold admission at
 //! once, and the excess is shed immediately with
 //! [`ServiceError::Overloaded`] — typed backpressure instead of an unbounded
-//! queue. Admitted requests carry a deadline budget in [`Clock`] ticks,
+//! queue. A batched query ([`RadiusQueryService::query_batch`]) counts as
+//! **one** admission slot regardless of how many nodes it shards across the
+//! pool. Admitted requests carry a deadline budget in [`Clock`] ticks,
 //! enforced by cooperative cancellation polled once per ball-growth step
-//! ([`ServiceError::DeadlineExceeded`]). Latest-generation requests
-//! ([`RadiusQueryService::query_latest`]) whose pinned generation is swapped
-//! out mid-probe retry with bounded exponential backoff before giving up
-//! with [`ServiceError::StaleGeneration`].
+//! ([`ServiceError::DeadlineExceeded`]).
+//!
+//! Every entry point funnels through one implementation path driven by
+//! [`QueryOptions`]: the deadline budget plus a [`Consistency`] mode.
+//! Pinned consistency (the default) serves from the generation pinned at
+//! admission; latest consistency re-probes with bounded exponential backoff
+//! when a swap invalidated the pinned generation mid-probe, giving up with
+//! [`ServiceError::StaleGeneration`]. The historical names
+//! ([`RadiusQueryService::query`], [`RadiusQueryService::query_with_deadline`],
+//! [`RadiusQueryService::query_latest`]) are thin wrappers over
+//! [`RadiusQueryService::query_with`].
 
 use std::fmt;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -41,7 +50,9 @@ use std::sync::{Arc, Mutex};
 use avglocal_graph::{CsrGraph, GraphError, NodeId};
 use avglocal_runtime::{BallAlgorithm, FrozenExecutor, Knowledge, RuntimeError};
 
+use crate::batch::{Consistency, QueryOptions};
 use crate::clock::Clock;
+use crate::config::ServiceConfig;
 use crate::error::{Result, ServiceError};
 
 /// One published snapshot generation: an epoch plus a frozen session.
@@ -68,37 +79,6 @@ impl Generation {
     #[must_use]
     pub fn node_count(&self) -> usize {
         self.session.node_count()
-    }
-}
-
-/// Tunables of a [`RadiusQueryService`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct ServiceConfig {
-    /// Admission bound: requests beyond this many in flight are shed.
-    pub max_in_flight: usize,
-    /// Deadline budget, in clock ticks, of queries that do not bring their
-    /// own ([`u64::MAX`] = effectively unlimited).
-    pub default_deadline: u64,
-    /// How many times a latest-generation query retries after losing its
-    /// pinned generation to a swap.
-    pub retry_limit: u32,
-    /// Backoff before retry `k` (1-based) is `backoff_base << (k - 1)`
-    /// ticks — bounded exponential.
-    pub backoff_base: u64,
-    /// Optional ball-radius hard limit applied to every generation's
-    /// session (see [`FrozenExecutor::with_max_radius`]).
-    pub max_radius: Option<usize>,
-}
-
-impl Default for ServiceConfig {
-    fn default() -> Self {
-        ServiceConfig {
-            max_in_flight: 64,
-            default_deadline: u64::MAX,
-            retry_limit: 3,
-            backoff_base: 1,
-            max_radius: None,
-        }
     }
 }
 
@@ -134,19 +114,25 @@ pub struct StatsSnapshot {
     pub publish_rejected: u64,
     /// Candidate generations whose build panicked.
     pub publish_panicked: u64,
+    /// Batched queries admitted (each holds a single admission slot).
+    pub batches: u64,
+    /// Individual node entries probed by batched queries, retries included.
+    pub batch_entries: u64,
 }
 
 /// Lifetime counters, all monotone; see `StatsSnapshot` for meanings.
 #[derive(Debug, Default)]
-struct Counters {
+pub(crate) struct Counters {
     admitted: AtomicU64,
     shed: AtomicU64,
-    deadline_expired: AtomicU64,
+    pub(crate) deadline_expired: AtomicU64,
     stale: AtomicU64,
     retries: AtomicU64,
     publishes: AtomicU64,
     publish_rejected: AtomicU64,
     publish_panicked: AtomicU64,
+    pub(crate) batches: AtomicU64,
+    pub(crate) batch_entries: AtomicU64,
 }
 
 /// A long-lived, failure-tolerant in-process radius-query service over
@@ -203,7 +189,7 @@ impl<A: BallAlgorithm> fmt::Debug for RadiusQueryService<A> {
 
 /// RAII admission slot: releases the in-flight count even when the probe
 /// path unwinds, so a panicking algorithm cannot leak capacity.
-struct Admission<'a> {
+pub(crate) struct Admission<'a> {
     in_flight: &'a AtomicUsize,
 }
 
@@ -274,11 +260,45 @@ impl<A: BallAlgorithm> RadiusQueryService<A> {
             publishes: self.counters.publishes.load(Ordering::Relaxed),
             publish_rejected: self.counters.publish_rejected.load(Ordering::Relaxed),
             publish_panicked: self.counters.publish_panicked.load(Ordering::Relaxed),
+            batches: self.counters.batches.load(Ordering::Relaxed),
+            batch_entries: self.counters.batch_entries.load(Ordering::Relaxed),
         }
     }
 
+    /// The service's clock, for probe paths measuring deadline budgets.
+    pub(crate) fn clock(&self) -> &dyn Clock {
+        self.clock.as_ref()
+    }
+
+    /// The service's configuration.
+    pub(crate) fn config(&self) -> &ServiceConfig {
+        &self.config
+    }
+
+    /// The algorithm every probe runs.
+    pub(crate) fn algorithm(&self) -> &A {
+        &self.algorithm
+    }
+
+    /// The a-priori knowledge handed to every probe.
+    pub(crate) fn knowledge(&self) -> Knowledge {
+        self.knowledge
+    }
+
+    /// The lifetime counters, for probe paths outside this module.
+    pub(crate) fn counters(&self) -> &Counters {
+        &self.counters
+    }
+
+    /// The effective deadline budget of a request: its own, or the
+    /// configured default.
+    pub(crate) fn budget_of(&self, options: &QueryOptions) -> u64 {
+        options.deadline.unwrap_or(self.config.default_deadline)
+    }
+
     /// Queries `node` on the currently published generation with the
-    /// configured default deadline.
+    /// configured default deadline. Equivalent to
+    /// [`RadiusQueryService::query_with`] with default [`QueryOptions`].
     ///
     /// # Errors
     ///
@@ -286,25 +306,26 @@ impl<A: BallAlgorithm> RadiusQueryService<A> {
     /// [`ServiceError::DeadlineExceeded`] when the budget expires mid-probe,
     /// [`ServiceError::Probe`] for algorithm/runtime failures.
     pub fn query(&self, node: NodeId) -> Result<QueryReply<A::Output>> {
-        self.query_with_deadline(node, self.config.default_deadline)
+        self.query_with(node, QueryOptions::new())
     }
 
     /// Like [`RadiusQueryService::query`] with an explicit deadline budget
-    /// in clock ticks.
+    /// in clock ticks. Equivalent to [`RadiusQueryService::query_with`]
+    /// with `QueryOptions::new().with_deadline(budget)`.
     ///
     /// # Errors
     ///
     /// Same as [`RadiusQueryService::query`].
     pub fn query_with_deadline(&self, node: NodeId, budget: u64) -> Result<QueryReply<A::Output>> {
-        let _slot = self.admit()?;
-        let generation = self.pin();
-        self.probe(&generation, node, budget)
+        self.query_with(node, QueryOptions::new().with_deadline(budget))
     }
 
     /// Queries `node`, insisting the answer come from a generation that is
     /// **still current** when the probe completes: if a swap invalidated the
     /// pinned generation mid-probe, the query retries (with bounded
-    /// exponential backoff) on the new one.
+    /// exponential backoff) on the new one. Equivalent to
+    /// [`RadiusQueryService::query_with`] with
+    /// `Consistency::Latest { retry_limit }` taken from the configuration.
     ///
     /// # Errors
     ///
@@ -313,26 +334,63 @@ impl<A: BallAlgorithm> RadiusQueryService<A> {
     /// attempts were each invalidated by a swap. Each attempt gets the full
     /// default deadline budget.
     pub fn query_latest(&self, node: NodeId) -> Result<QueryReply<A::Output>> {
+        self.query_with(
+            node,
+            QueryOptions::new()
+                .with_consistency(Consistency::Latest { retry_limit: self.config.retry_limit }),
+        )
+    }
+
+    /// The single-node entry point every `query*` wrapper forwards to: one
+    /// admission slot, then one probe per consistency attempt.
+    ///
+    /// # Errors
+    ///
+    /// Per [`QueryOptions`]: [`ServiceError::Overloaded`],
+    /// [`ServiceError::DeadlineExceeded`], [`ServiceError::Probe`], and —
+    /// under [`Consistency::Latest`] — [`ServiceError::StaleGeneration`].
+    pub fn query_with(&self, node: NodeId, options: QueryOptions) -> Result<QueryReply<A::Output>> {
         let _slot = self.admit()?;
-        let mut attempt: u32 = 0;
+        let budget = self.budget_of(&options);
+        self.with_consistency(options.consistency, |generation| {
+            self.probe(generation, node, budget)
+        })
+    }
+
+    /// The one consistency loop shared by single and batched queries: pin,
+    /// attempt, and — under latest consistency — re-attempt with bounded
+    /// exponential backoff while swaps invalidate the pinned generation.
+    ///
+    /// Admission is the caller's job (a batch holds one slot across every
+    /// attempt).
+    pub(crate) fn with_consistency<T>(
+        &self,
+        consistency: Consistency,
+        mut attempt: impl FnMut(&Arc<Generation>) -> Result<T>,
+    ) -> Result<T> {
+        let retry_limit = match consistency {
+            Consistency::Pinned => return attempt(&self.pin()),
+            Consistency::Latest { retry_limit } => retry_limit,
+        };
+        let mut tries: u32 = 0;
         loop {
             let generation = self.pin();
-            let reply = self.probe(&generation, node, self.config.default_deadline)?;
+            let reply = attempt(&generation)?;
             if self.current_epoch() == generation.epoch {
                 return Ok(reply);
             }
-            if attempt >= self.config.retry_limit {
+            if tries >= retry_limit {
                 self.counters.stale.fetch_add(1, Ordering::Relaxed);
-                return Err(ServiceError::StaleGeneration { retries: attempt });
+                return Err(ServiceError::StaleGeneration { retries: tries });
             }
-            attempt += 1;
+            tries += 1;
             self.counters.retries.fetch_add(1, Ordering::Relaxed);
-            self.clock.sleep(self.config.backoff_base << (attempt - 1));
+            self.clock.sleep(self.config.backoff_base << (tries - 1));
         }
     }
 
     /// Claims an admission slot or sheds the request.
-    fn admit(&self) -> Result<Admission<'_>> {
+    pub(crate) fn admit(&self) -> Result<Admission<'_>> {
         let before = self.in_flight.fetch_add(1, Ordering::Relaxed);
         if before >= self.config.max_in_flight {
             self.in_flight.fetch_sub(1, Ordering::Relaxed);

@@ -6,10 +6,12 @@
 //!
 //! * **chaos**: the deterministic harness in `avglocal_service::chaos`
 //!   drives concurrent readers through scripted generation swaps, torn
-//!   publishes, failpoint panic storms, worker kills and deadline expiries —
-//!   every completed answer must be bit-identical to the sequential
-//!   reference on the generation it was served from, and every failure must
-//!   surface as its typed error;
+//!   publishes, failpoint panic storms, worker kills, deadline expiries and
+//!   batched queries racing the swaps (including deadline storms that expire
+//!   whole batches mid-flight) — every completed answer, single or batch
+//!   entry, must be bit-identical to the sequential reference on the
+//!   generation it was served from, and every failure must surface as its
+//!   typed error;
 //! * **crash-safe persistence**: a [`SnapshotStore`] that crashed mid-write
 //!   recovers deterministically to the last durable generation, and the
 //!   service restarted on it keeps answering bit-identically.
@@ -51,6 +53,9 @@ fn default_chaos_plan_holds_every_invariant() {
     assert!(report.publish_rejected > 0, "torn publishes never exercised validation");
     assert!(report.publish_panicked > 0, "panic storms never exercised rollback");
     assert!(report.deadline_expired > 0, "deadline faults never fired");
+    assert!(report.batches > 0, "chaos run issued no batched queries");
+    assert!(report.batch_entries > 0, "batched queries probed no entries");
+    assert!(report.batch_expired > 0, "deadline storms never expired a batch mid-flight");
 }
 
 /// Decides immediately everywhere, but the probe of `hold_id` parks until
@@ -135,6 +140,7 @@ fn chaos_seeds_vary_the_storm_but_never_the_invariants() {
         assert_eq!(report.mismatches, 0, "seed {seed}");
         assert_eq!(report.unexpected_errors, 0, "seed {seed}");
         assert!(report.completed > 0, "seed {seed}");
+        assert!(report.batches > 0, "seed {seed}: batches raced no swaps");
     }
 }
 

@@ -122,7 +122,7 @@ proptest! {
                 n,
                 &IdAssignment::Shuffled { seed },
             ).unwrap();
-            let mut session = FrozenExecutor::new(&graph);
+            let session = FrozenExecutor::new(&graph);
             let per_call = BallExecutor::new();
             for v in graph.nodes() {
                 let fresh = per_call
