@@ -10,8 +10,11 @@
 # radius-query service vs raw probes, qps + p99 with a 3x overhead gate —
 # and the service_batch block — the batched, sharded query_batch path vs a
 # single-query loop, gated at >= 2x batched throughput wherever the
-# machine has real parallelism) and refreshes BENCH_e1.json. The
-# dedicated service harness is
+# machine has real parallelism — and the sampling block — the 10% uniform
+# sample estimate vs the exact sweep, relative error gated at a 25% budget
+# and the sampled path gated at 5x the exact wall time with real cores,
+# with frontier rows an order of magnitude past the exact sweep) and
+# refreshes BENCH_e1.json. The dedicated service harness is
 # `cargo run --release -p avglocal-bench --bin service_load`.
 #
 # Pin the pool for reproducible timings: AVG_LOCAL_THREADS=4 ./bench.sh

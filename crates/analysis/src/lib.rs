@@ -43,7 +43,10 @@ pub mod stats;
 
 pub use fit::{best_model, fit_scale, linear_regression, rank_models, Fit, GrowthModel};
 pub use logstar::{log2_ceil, log2_floor, log_star, tower};
-pub use stats::{histogram, percentile, Summary};
+pub use stats::{
+    fpc_half_width_95, histogram, percentile, sample_size_for_half_width, stratified_mean_ci,
+    t_critical_95, StratifiedMean, StratumStat, Summary,
+};
 
 #[cfg(test)]
 mod proptests {

@@ -53,7 +53,7 @@ use avglocal_analysis::Summary;
 use avglocal_graph::{
     derive_seed, ComponentLabels, ComponentMode, CsrGraph, Graph, IdAssignment, Topology,
 };
-use avglocal_runtime::FrozenExecutor;
+use avglocal_runtime::{FrozenExecutor, NodeBatchOptions};
 use rayon::prelude::*;
 
 use crate::cdf::RadiusCdf;
@@ -61,6 +61,7 @@ use crate::error::{CoreError, Result};
 use crate::measure::{ComponentMeasures, MeasureSet};
 use crate::problem::Problem;
 use crate::profile::RadiusProfile;
+use crate::sampling::{Estimate, SamplePlan, SampledMeasureSet};
 
 /// How identifiers are assigned to the nodes in a sweep.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -138,7 +139,43 @@ pub struct SweepRow {
     /// The pooled radius distribution of the row: every trial's radius
     /// vector merged exactly (`trials x n` observations), so any quantile —
     /// not just the scalar columns above — can be read off after the sweep.
+    ///
+    /// In a sampled sweep this pools the **raw sampled** radii (the
+    /// observations actually probed) — unweighted, so biased for stratified
+    /// and edge-endpoint designs; read quantile estimates off
+    /// [`SweepRow::sampled`] instead.
     pub cdf: RadiusCdf,
+    /// The sampling estimates when the sweep ran with
+    /// [`Sweep::with_sample_plan`]; `None` for an exact sweep. When set,
+    /// the scalar columns above hold the estimated values for the measures
+    /// the plan supports and `0.0` for the rest — the typed [`SampledRow`]
+    /// is the authoritative record of what was (and was not) estimated.
+    pub sampled: Option<SampledRow>,
+}
+
+/// The per-size record of a sampled sweep: combined estimates with their
+/// confidence half-widths, plus every trial's full [`SampledMeasureSet`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct SampledRow {
+    /// The plan the sweep sampled with.
+    pub plan: SamplePlan,
+    /// Nodes probed per trial (constant across trials of one row).
+    pub probes: usize,
+    /// Whether the budget covered the whole population (estimates are then
+    /// exact, bit-identical to an exact sweep's measures).
+    pub census: bool,
+    /// Trial-combined node-averaged estimate ([`Estimate::mean_of`]), when
+    /// the plan estimates it.
+    pub node_averaged: Option<Estimate>,
+    /// Trial-combined edge-averaged (max-endpoint) estimate.
+    pub edge_averaged: Option<Estimate>,
+    /// Trial-combined edge-averaged (mean-endpoint) estimate.
+    pub edge_averaged_mean: Option<Estimate>,
+    /// Mean over trials of the estimated median radius, when the plan
+    /// estimates quantiles.
+    pub median: Option<f64>,
+    /// Every trial's estimate, in trial order.
+    pub per_trial: Vec<SampledMeasureSet>,
 }
 
 impl SweepRow {
@@ -214,6 +251,8 @@ pub struct Sweep {
     policy: AssignmentPolicy,
     trials: usize,
     mode: ComponentMode,
+    sample: Option<SamplePlan>,
+    sample_seed: u64,
 }
 
 impl Sweep {
@@ -235,6 +274,8 @@ impl Sweep {
             policy: AssignmentPolicy::Random { base_seed: 0 },
             trials: 1,
             mode: ComponentMode::RequireConnected,
+            sample: None,
+            sample_seed: 0,
         }
     }
 
@@ -274,6 +315,35 @@ impl Sweep {
         self
     }
 
+    /// Switches the sweep to **sampled estimation**: instead of probing
+    /// every node every trial, each trial probes only the subset `plan`
+    /// draws and the rows report estimates with confidence half-widths
+    /// ([`SweepRow::sampled`]). This is what extends E-style curves past
+    /// the exact-sweep frontier — probe cost drops from Θ(n) balls per
+    /// trial to Θ(budget).
+    ///
+    /// The sample set of trial `t` is a pure function of
+    /// `(sample seed, t, plan)` and the instance (see
+    /// [`SamplePlan::seed_for`]), so sampled sweeps keep the exact sweep's
+    /// determinism contract: bit-identical results across runs,
+    /// schedulings and thread counts. Only ball-view problems support
+    /// per-node probes, and only whole-population (connected) sweeps are
+    /// estimable; [`Sweep::run`] rejects other configurations.
+    #[must_use]
+    pub fn with_sample_plan(mut self, plan: SamplePlan) -> Self {
+        self.sample = Some(plan);
+        self
+    }
+
+    /// Sets the base seed of the sample streams (default 0). Kept separate
+    /// from the id-assignment policy seed so resampling never perturbs the
+    /// identifier draw and vice versa.
+    #[must_use]
+    pub fn with_sample_seed(mut self, seed: u64) -> Self {
+        self.sample_seed = seed;
+        self
+    }
+
     /// Runs the sweep.
     ///
     /// # Errors
@@ -295,6 +365,32 @@ impl Sweep {
             });
         }
         check_problem_supports_topology(self.problem, &self.topology)?;
+        if let Some(plan) = self.sample {
+            if !self.problem.uses_ball_view() {
+                return Err(CoreError::InvalidConfiguration {
+                    reason: format!(
+                        "sampled sweeps need a ball-view problem; '{}' is round-based",
+                        self.problem.key()
+                    ),
+                });
+            }
+            if self.mode == ComponentMode::PerComponent {
+                return Err(CoreError::InvalidConfiguration {
+                    reason: "sampled sweeps estimate whole-population measures; \
+                             per-component mode is not supported"
+                        .to_string(),
+                });
+            }
+            let mut rows = Vec::with_capacity(self.sizes.len());
+            for &n in &self.sizes {
+                rows.push(self.sampled_row(n, plan)?);
+            }
+            return Ok(SweepResult {
+                problem: self.problem,
+                topology: self.topology.clone(),
+                rows,
+            });
+        }
         let mut rows = Vec::with_capacity(self.sizes.len());
         for &n in &self.sizes {
             // One instance per size: trials vary the identifiers, never the
@@ -368,9 +464,101 @@ impl Sweep {
                 edge_averaged_mean: mean_of(&sets, |s| s.edge_averaged_mean),
                 median: mean_of(&sets, |s| s.median),
                 cdf,
+                sampled: None,
             });
         }
         Ok(SweepResult { problem: self.problem, topology: self.topology.clone(), rows })
+    }
+
+    /// One size of a sampled sweep: per trial, draw the plan's sample from
+    /// the frozen instance, probe exactly that subset through the
+    /// index-addressed batch path, and fold the radii into estimates.
+    ///
+    /// The trial loop mirrors the exact path — one instance per size, one
+    /// frozen snapshot shared across trials, one persistent-pool session per
+    /// participant, results collected in trial order — so sampled sweeps
+    /// inherit the exact path's bit-reproducibility.
+    fn sampled_row(&self, n: usize, plan: SamplePlan) -> Result<SweepRow> {
+        let base = self.topology.build_for(n, self.mode)?;
+        let frozen_base = base.freeze();
+        let per_trial: Vec<Result<(SampledMeasureSet, RadiusCdf, f64)>> = (0..self.trials)
+            .into_par_iter()
+            .map_init(
+                || None,
+                |session: &mut Option<FrozenExecutor>, trial| {
+                    let assignment = self.policy.assignment_for_trial(trial);
+                    let mut graph = base.clone();
+                    assignment.apply(&mut graph)?;
+                    let session = session
+                        .get_or_insert_with(|| FrozenExecutor::from_csr(frozen_base.clone()));
+                    let identifiers: Vec<_> = graph.identifiers().collect();
+                    session.set_identifiers(&identifiers);
+                    let sample = plan.draw(&frozen_base, plan.seed_for(self.sample_seed, trial));
+                    let radii = self.problem.probe_radii(
+                        session,
+                        sample.nodes(),
+                        &NodeBatchOptions::new(),
+                    )?;
+                    // The raw sampled observations: pooled into the row cdf,
+                    // and their maximum is a certified lower bound on the
+                    // trial's worst case.
+                    let worst = radii.iter().copied().max().unwrap_or(0) as f64;
+                    let cdf = RadiusCdf::from_radii(&radii);
+                    Ok((sample.estimate(&radii), cdf, worst))
+                },
+            )
+            .collect();
+        let mut estimates = Vec::with_capacity(self.trials);
+        let mut cdf = RadiusCdf::empty();
+        let mut worst_sum = 0.0;
+        for result in per_trial {
+            let (estimate, trial_cdf, worst) = result?;
+            cdf.merge(&trial_cdf);
+            worst_sum += worst;
+            estimates.push(estimate);
+        }
+        let collect = |f: &dyn Fn(&SampledMeasureSet) -> Option<Estimate>| {
+            let per: Vec<Estimate> = estimates.iter().filter_map(f).collect();
+            if per.len() == estimates.len() {
+                Estimate::mean_of(&per)
+            } else {
+                None
+            }
+        };
+        let node_averaged = collect(&|e| e.node_averaged);
+        let edge_averaged = collect(&|e| e.edge_averaged);
+        let edge_averaged_mean = collect(&|e| e.edge_averaged_mean);
+        let medians: Vec<f64> = estimates.iter().filter_map(SampledMeasureSet::median).collect();
+        let median = (medians.len() == estimates.len())
+            .then(|| medians.iter().sum::<f64>() / medians.len() as f64);
+        let averages: Vec<f64> =
+            estimates.iter().filter_map(|e| e.node_averaged.map(|est| est.value)).collect();
+        let average_summary = Summary::from_values(&averages);
+        let sampled = SampledRow {
+            plan,
+            probes: estimates.first().map_or(0, |e| e.probes),
+            census: estimates.iter().all(|e| e.census),
+            node_averaged,
+            edge_averaged,
+            edge_averaged_mean,
+            median,
+            per_trial: estimates,
+        };
+        Ok(SweepRow {
+            topology: self.topology.clone(),
+            n,
+            trials: self.trials,
+            components: 1,
+            worst_case: worst_sum / self.trials as f64,
+            average: node_averaged.map_or(0.0, |e| e.value),
+            average_summary,
+            total: node_averaged.map_or(0.0, |e| e.value * n as f64),
+            edge_averaged: edge_averaged.map_or(0.0, |e| e.value),
+            edge_averaged_mean: edge_averaged_mean.map_or(0.0, |e| e.value),
+            median: median.unwrap_or(0.0),
+            cdf,
+            sampled: Some(sampled),
+        })
     }
 }
 
@@ -641,6 +829,73 @@ mod tests {
         }
         // Worst case grows linearly with n for largest ID.
         assert_eq!(result.rows[2].worst_case, 16.0);
+    }
+
+    #[test]
+    fn sampled_sweep_with_full_budget_matches_the_exact_sweep() {
+        // A census budget degenerates the estimator to the exact
+        // measurement: every shared column must be bit-identical.
+        let exact = Sweep::new(Problem::LargestId, vec![32])
+            .with_policy(AssignmentPolicy::Random { base_seed: 9 })
+            .with_trials(3)
+            .run()
+            .unwrap();
+        let sampled = Sweep::new(Problem::LargestId, vec![32])
+            .with_policy(AssignmentPolicy::Random { base_seed: 9 })
+            .with_trials(3)
+            .with_sample_plan(SamplePlan::Uniform { budget: 32 })
+            .run()
+            .unwrap();
+        let (e, s) = (&exact.rows[0], &sampled.rows[0]);
+        let record = s.sampled.as_ref().unwrap();
+        assert!(record.census);
+        assert_eq!(record.probes, 32);
+        assert_eq!(s.average, e.average);
+        assert_eq!(s.median, e.median);
+        assert_eq!(s.worst_case, e.worst_case);
+        assert_eq!(s.total, e.total);
+        assert_eq!(s.cdf, e.cdf);
+        assert_eq!(record.node_averaged.unwrap().half_width_95, 0.0);
+    }
+
+    #[test]
+    fn sampled_sweep_is_bit_reproducible_and_budget_bounded() {
+        let build = || {
+            Sweep::new(Problem::LargestId, vec![64])
+                .with_policy(AssignmentPolicy::Random { base_seed: 3 })
+                .with_trials(4)
+                .with_sample_plan(SamplePlan::Uniform { budget: 12 })
+                .with_sample_seed(77)
+                .run()
+                .unwrap()
+        };
+        let a = build();
+        let b = build();
+        assert_eq!(a, b, "sampled sweeps are bit-reproducible");
+        let record = a.rows[0].sampled.as_ref().unwrap();
+        assert_eq!(record.probes, 12);
+        assert!(!record.census);
+        let est = record.node_averaged.unwrap();
+        assert!(est.half_width_95.is_finite() && est.half_width_95 > 0.0);
+        // The trial-pooled cdf holds exactly trials x budget observations.
+        assert_eq!(a.rows[0].cdf.observations(), 4 * 12);
+    }
+
+    #[test]
+    fn sampled_sweep_rejects_unsupported_configurations() {
+        // Round-based problems have no per-node probe.
+        let err = Sweep::new(Problem::ThreeColoring, vec![16])
+            .with_sample_plan(SamplePlan::Uniform { budget: 8 })
+            .run()
+            .unwrap_err();
+        assert!(matches!(err, CoreError::InvalidConfiguration { .. }), "{err:?}");
+        // Per-component mode estimates nothing meaningful from a sample.
+        let err = Sweep::new(Problem::LargestId, vec![16])
+            .with_component_mode(ComponentMode::PerComponent)
+            .with_sample_plan(SamplePlan::Uniform { budget: 8 })
+            .run()
+            .unwrap_err();
+        assert!(matches!(err, CoreError::InvalidConfiguration { .. }), "{err:?}");
     }
 
     #[test]

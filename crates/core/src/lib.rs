@@ -73,6 +73,7 @@ pub mod measure;
 mod problem;
 mod profile;
 pub mod report;
+pub mod sampling;
 pub mod schedule;
 pub mod theory;
 
@@ -85,11 +86,14 @@ pub use error::{CoreError, Result};
 pub use experiment::{
     cycle_with_assignment, random_permutation_study, random_permutation_study_on, run_on_cycle,
     run_on_topology, run_on_topology_per_component, topology_with_assignment, AssignmentPolicy,
-    RandomPermutationStudy, Sweep, SweepResult, SweepRow,
+    RandomPermutationStudy, SampledRow, Sweep, SweepResult, SweepRow,
 };
 pub use measure::{ComponentMeasures, EdgeWeight, Measure, MeasurePair, MeasureSet, MEDIAN};
 pub use problem::Problem;
 pub use profile::RadiusProfile;
+pub use sampling::{
+    Estimate, SamplePlan, SampleQueries, SampleReply, SampleSet, SampledMeasureSet,
+};
 
 // Re-export the lower layers so downstream users need a single dependency.
 pub use avglocal_algorithms as algorithms;
@@ -108,13 +112,14 @@ pub mod prelude {
     pub use crate::experiment::{
         cycle_with_assignment, random_permutation_study, random_permutation_study_on, run_on_cycle,
         run_on_topology, run_on_topology_per_component, topology_with_assignment, AssignmentPolicy,
-        Sweep,
+        SampledRow, Sweep,
     };
     pub use crate::figure::{AsciiChart, Series};
     pub use crate::measure::{ComponentMeasures, EdgeWeight, Measure, MeasurePair, MeasureSet};
     pub use crate::problem::Problem;
     pub use crate::profile::RadiusProfile;
     pub use crate::report::Table;
+    pub use crate::sampling::{Estimate, SamplePlan, SampleQueries, SampledMeasureSet};
     pub use crate::schedule::{expected_invalidated_nodes, schedule_radii};
     pub use crate::theory;
     pub use avglocal_graph::{

@@ -298,6 +298,64 @@ impl Problem {
         }
     }
 
+    /// Probes the decision radii of an explicit node subset on a frozen
+    /// session — the engine of the sampling estimators.
+    ///
+    /// Results come back positionally aligned with `nodes` through the
+    /// index-addressed batch path
+    /// ([`FrozenExecutor::run_nodes_with`]), so they are bit-identical
+    /// across schedulings and thread counts. Unlike the full-sweep entry
+    /// points this **skips output verification**: global predicates (one
+    /// leader, proper colouring) are not checkable on a sampled subset, and
+    /// the statistical suite pins sampled radii against verified full
+    /// sweeps instead.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::InvalidConfiguration`] for round-based problems (no
+    /// per-node ball probes exist; see [`Problem::uses_ball_view`]);
+    /// [`CoreError::Runtime`] with the first failing probe in node order
+    /// otherwise.
+    pub fn probe_radii(
+        &self,
+        session: &FrozenExecutor,
+        nodes: &[avglocal_graph::NodeId],
+        options: &avglocal_runtime::NodeBatchOptions<'_>,
+    ) -> Result<Vec<usize>> {
+        fn probe<A>(
+            session: &FrozenExecutor,
+            algorithm: &A,
+            nodes: &[avglocal_graph::NodeId],
+            options: &avglocal_runtime::NodeBatchOptions<'_>,
+        ) -> Result<Vec<usize>>
+        where
+            A: BallAlgorithm + Sync,
+            A::Output: Send,
+        {
+            session
+                .run_nodes_with(nodes, algorithm, Knowledge::none(), options)
+                .into_iter()
+                .map(|r| r.map(|(_, radius)| radius).map_err(CoreError::from))
+                .collect()
+        }
+
+        match self {
+            Problem::LargestId => probe(session, &LargestId, nodes, options),
+            Problem::FullInfoLargestId => probe(session, &FullInfoLargestId, nodes, options),
+            Problem::KnowTheLeader => probe(session, &KnowTheLeader, nodes, options),
+            Problem::LandmarkColoring => probe(session, &LandmarkColoring, nodes, options),
+            Problem::FullInfoColoring => probe(session, &FullInfoColoring, nodes, options),
+            Problem::ThreeColoring | Problem::Mis | Problem::Matching => {
+                Err(CoreError::InvalidConfiguration {
+                    reason: format!(
+                        "sampled probes need a ball-view problem; '{}' is round-based",
+                        self.key()
+                    ),
+                })
+            }
+        }
+    }
+
     fn check(&self, valid: bool) -> Result<()> {
         if valid {
             Ok(())

@@ -1,0 +1,900 @@
+//! Sampling estimators for the paper's distributional measures.
+//!
+//! Every exact experiment probes **every** node every trial — Θ(Σ ball) per
+//! trial — which caps the sweeps far below the scales where the paper's
+//! average-vs-worst-case separation is most interesting. This module answers
+//! the node-averaged, edge-averaged and quantile measures from a **sampled
+//! subset** of nodes instead, with honest confidence intervals from
+//! `avglocal_analysis::stats`, so E-style curves extend one to two orders of
+//! magnitude past the exact-sweep frontier:
+//!
+//! * [`SamplePlan::Uniform`] — a without-replacement uniform node sample;
+//!   the sample mean estimates the node-averaged complexity, the sampled
+//!   ECDF its quantiles, both with finite-population-corrected intervals.
+//! * [`SamplePlan::EdgeEndpoint`] — a without-replacement uniform sample of
+//!   **edges** whose endpoints are probed; each sampled edge contributes its
+//!   endpoint radii exactly as the exact edge-averaged measures weight them
+//!   (`max(r_u, r_v)` and `(r_u + r_v)/2`), so the sample mean estimates the
+//!   BGKO edge-averaged complexities.
+//! * [`SamplePlan::StratifiedByDegree`] — nodes stratified into geometric
+//!   degree classes with proportional allocation. On hub families the
+//!   heavy-degree tail is a vanishing fraction of nodes but carries the
+//!   interesting radii; stratification guarantees every degree class is
+//!   represented and removes the between-stratum variance term, so it beats
+//!   uniform sampling on mean-squared error at equal budget.
+//!
+//! # Determinism contract
+//!
+//! The sample set is a pure function of `(base_seed, trial, plan)` and the
+//! graph: [`SamplePlan::seed_for`] derives a stream seed by the same
+//! splitmix mixing the id-assignment layer uses ([`derive_seed`]), tagged
+//! per plan variant and budget so distinct plans draw disjoint streams.
+//! Draws use Floyd's without-replacement algorithm over ordered sets —
+//! never hash iteration — so the sampled node list is bit-reproducible
+//! across runs, schedulings, and thread counts; probing it through the
+//! index-addressed executor keeps the whole estimate bit-reproducible.
+//!
+//! # Census degeneration
+//!
+//! A plan whose budget covers the whole population degenerates to the exact
+//! measurement: [`SampleSet::is_census`] turns true and the estimates are
+//! computed by the same arithmetic, in the same order, as
+//! [`MeasureSet`](crate::measure::MeasureSet) — bit-identical values with
+//! zero half-width. The statistical suite pins this equivalence.
+
+use std::collections::BTreeSet;
+
+use avglocal_analysis::stats::{fpc_half_width_95, stratified_mean_ci, StratumStat, Summary};
+use avglocal_graph::{derive_seed, CsrGraph, NodeId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::cdf::RadiusCdf;
+
+/// How to choose the probed subset, and how large it may be.
+///
+/// The `budget` is counted in **node probes** — the unit of work the
+/// executor actually spends. Edge-endpoint sampling therefore draws about
+/// `budget / 2` edges, since each edge costs its two endpoints.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SamplePlan {
+    /// Uniform without-replacement node sample; estimates the node-averaged
+    /// measure and the radius quantiles.
+    Uniform {
+        /// Maximum number of nodes to probe.
+        budget: usize,
+    },
+    /// Uniform without-replacement **edge** sample, probing both endpoints
+    /// of every sampled edge; estimates the edge-averaged measures.
+    EdgeEndpoint {
+        /// Maximum number of node probes (≈ 2 per sampled edge).
+        budget: usize,
+    },
+    /// Node sample stratified into geometric degree classes with
+    /// proportional allocation; estimates the node-averaged measure and
+    /// weighted quantiles with the stratified variance.
+    StratifiedByDegree {
+        /// Maximum number of nodes to probe.
+        budget: usize,
+    },
+}
+
+impl SamplePlan {
+    /// The probe budget the plan was configured with.
+    #[must_use]
+    pub fn budget(&self) -> usize {
+        match *self {
+            SamplePlan::Uniform { budget }
+            | SamplePlan::EdgeEndpoint { budget }
+            | SamplePlan::StratifiedByDegree { budget } => budget,
+        }
+    }
+
+    /// A short stable key naming the plan (used by benches and corpus
+    /// filenames): `uniform_<budget>`, `edge_<budget>`, `strata_<budget>`.
+    #[must_use]
+    pub fn key(&self) -> String {
+        match *self {
+            SamplePlan::Uniform { budget } => format!("uniform_{budget}"),
+            SamplePlan::EdgeEndpoint { budget } => format!("edge_{budget}"),
+            SamplePlan::StratifiedByDegree { budget } => format!("strata_{budget}"),
+        }
+    }
+
+    /// Per-variant stream tag, kept in the low 32 bits so the budget
+    /// (rotated into the high bits) can never alias two variants.
+    fn tag(&self) -> u64 {
+        match self {
+            SamplePlan::Uniform { .. } => 0x5A11_0001,
+            SamplePlan::EdgeEndpoint { .. } => 0x5A11_0002,
+            SamplePlan::StratifiedByDegree { .. } => 0x5A11_0003,
+        }
+    }
+
+    /// The stream seed for this plan at `(base_seed, trial)`.
+    ///
+    /// Derived with the same splitmix finaliser as per-trial id assignments:
+    /// distinct `(base_seed, trial, plan)` triples give unrelated streams,
+    /// so a sampled sweep's trials draw disjoint sample sets and two plans
+    /// at the same trial never share one.
+    #[must_use]
+    pub fn seed_for(&self, base_seed: u64, trial: usize) -> u64 {
+        let trial_seed = derive_seed(base_seed, trial as u64);
+        derive_seed(trial_seed, self.tag() ^ (self.budget() as u64).rotate_left(32))
+    }
+
+    /// Draws the sample set for this plan on `csr` from `seed`.
+    ///
+    /// Pure and deterministic: the same `(plan, csr, seed)` always yields
+    /// the same [`SampleSet`], independent of scheduling or thread count.
+    #[must_use]
+    pub fn draw(&self, csr: &CsrGraph, seed: u64) -> SampleSet {
+        let n = csr.node_count();
+        let m = csr.edge_count();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let design = match *self {
+            SamplePlan::Uniform { budget } => {
+                let k = budget.min(n);
+                Design::Uniform { nodes: sample_indices(&mut rng, n, k) }
+            }
+            SamplePlan::EdgeEndpoint { budget } => {
+                let e = (budget / 2).max(1).min(m);
+                let picked = if m == 0 { Vec::new() } else { sample_indices(&mut rng, m, e) };
+                // Materialise the picked edge indices in edge-stream order —
+                // the same `csr.edges()` order the exact measures fold over.
+                let mut edges = Vec::with_capacity(picked.len());
+                let mut want = picked.iter().copied();
+                let mut next = want.next();
+                for (index, edge) in csr.edges().enumerate() {
+                    match next {
+                        Some(w) if w as usize == index => {
+                            edges.push(edge);
+                            next = want.next();
+                        }
+                        Some(_) => {}
+                        None => break,
+                    }
+                }
+                Design::EdgeEndpoint { edges }
+            }
+            SamplePlan::StratifiedByDegree { budget } => {
+                Design::Stratified { strata: draw_stratified(&mut rng, csr, budget) }
+            }
+        };
+        let nodes = design.probe_nodes();
+        SampleSet { plan: *self, seed, population_nodes: n, population_edges: m, nodes, design }
+    }
+}
+
+/// Floyd's without-replacement sample of `k` indices out of `0..n`,
+/// returned in ascending order. Uses an ordered set — deterministic
+/// iteration, no hash containers.
+fn sample_indices(rng: &mut StdRng, n: usize, k: usize) -> Vec<u32> {
+    debug_assert!(k <= n);
+    if k >= n {
+        return (0..n as u32).collect();
+    }
+    let mut chosen = BTreeSet::new();
+    for j in (n - k)..n {
+        let t = rng.gen_range(0..j + 1) as u32;
+        if !chosen.insert(t) {
+            chosen.insert(j as u32);
+        }
+    }
+    chosen.into_iter().collect()
+}
+
+/// Geometric degree class of a node: 0 for isolated nodes, otherwise
+/// `⌊log₂ degree⌋ + 1`, so class `b ≥ 1` holds degrees in `[2^(b−1), 2^b)`.
+fn degree_class(degree: usize) -> usize {
+    (usize::BITS - degree.leading_zeros()) as usize
+}
+
+/// One degree stratum of a stratified sample.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct SampleStratum {
+    /// Number of population nodes in this degree class (`N_h`).
+    population: usize,
+    /// The sampled node indices, ascending (`k_h` of them).
+    members: Vec<u32>,
+}
+
+/// Stratifies nodes by [`degree_class`], allocates the budget
+/// proportionally (largest-remainder rounding, then a deterministic repair
+/// pass that lifts every stratum toward two draws so its variance is
+/// estimable), and Floyd-samples within each stratum.
+fn draw_stratified(rng: &mut StdRng, csr: &CsrGraph, budget: usize) -> Vec<SampleStratum> {
+    let n = csr.node_count();
+    let mut classes: Vec<Vec<u32>> = Vec::new();
+    for v in 0..n as u32 {
+        let class = degree_class(csr.degree(v));
+        if classes.len() <= class {
+            classes.resize_with(class + 1, Vec::new);
+        }
+        classes[class].push(v);
+    }
+    let classes: Vec<Vec<u32>> = classes.into_iter().filter(|c| !c.is_empty()).collect();
+    let k = budget.min(n);
+
+    // Proportional floor allocation, capped by stratum size.
+    let mut alloc: Vec<usize> = classes.iter().map(|c| k * c.len() / n).collect();
+    let mut assigned: usize = alloc.iter().sum();
+    // Largest-remainder distribution of what the floors dropped: order by
+    // fractional remainder descending, stratum index ascending on ties.
+    let mut order: Vec<usize> = (0..classes.len()).collect();
+    order.sort_by_key(|&h| (std::cmp::Reverse(k * classes[h].len() % n), h));
+    while assigned < k {
+        let before = assigned;
+        for &h in &order {
+            if assigned == k {
+                break;
+            }
+            if alloc[h] < classes[h].len() {
+                alloc[h] += 1;
+                assigned += 1;
+            }
+        }
+        if assigned == before {
+            break; // every stratum saturated (k == n).
+        }
+    }
+    // Repair pass: every stratum should reach min(2, N_h) draws so its
+    // variance is estimable. Donors are the strata with the largest surplus
+    // above that minimum; ties break toward the lower stratum index. With a
+    // budget too small to cover the minima the estimate simply reports an
+    // infinite half-width — gated, never silently wrong.
+    for h in 0..classes.len() {
+        let target = classes[h].len().min(2);
+        while alloc[h] < target {
+            let donor = (0..classes.len())
+                .filter(|&j| j != h && alloc[j] > classes[j].len().min(2))
+                .max_by_key(|&j| (alloc[j] - classes[j].len().min(2), std::cmp::Reverse(j)));
+            match donor {
+                Some(j) => {
+                    alloc[j] -= 1;
+                    alloc[h] += 1;
+                }
+                None => break,
+            }
+        }
+    }
+
+    classes
+        .into_iter()
+        .zip(alloc)
+        .map(|(members, k_h)| {
+            let picked = sample_indices(rng, members.len(), k_h);
+            SampleStratum {
+                population: members.len(),
+                members: picked.into_iter().map(|i| members[i as usize]).collect(),
+            }
+        })
+        .collect()
+}
+
+/// Plan-specific bookkeeping a draw retains for estimation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Design {
+    /// Uniform node sample, ascending.
+    Uniform { nodes: Vec<u32> },
+    /// Sampled edges in edge-stream (`csr.edges()`) order.
+    EdgeEndpoint { edges: Vec<(u32, u32)> },
+    /// Degree strata in ascending class order.
+    Stratified { strata: Vec<SampleStratum> },
+}
+
+impl Design {
+    /// The deduplicated, ascending list of nodes the plan must probe.
+    fn probe_nodes(&self) -> Vec<NodeId> {
+        match self {
+            Design::Uniform { nodes } => nodes.iter().map(|&v| NodeId::new(v as usize)).collect(),
+            Design::EdgeEndpoint { edges } => {
+                let endpoints: BTreeSet<u32> = edges.iter().flat_map(|&(u, v)| [u, v]).collect();
+                endpoints.into_iter().map(|v| NodeId::new(v as usize)).collect()
+            }
+            Design::Stratified { strata } => {
+                let members: BTreeSet<u32> =
+                    strata.iter().flat_map(|s| s.members.iter().copied()).collect();
+                members.into_iter().map(|v| NodeId::new(v as usize)).collect()
+            }
+        }
+    }
+}
+
+/// A drawn sample: the nodes to probe plus the design bookkeeping needed to
+/// turn their radii into estimates.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SampleSet {
+    plan: SamplePlan,
+    seed: u64,
+    population_nodes: usize,
+    population_edges: usize,
+    nodes: Vec<NodeId>,
+    design: Design,
+}
+
+impl SampleSet {
+    /// The plan that drew this sample.
+    #[must_use]
+    pub fn plan(&self) -> SamplePlan {
+        self.plan
+    }
+
+    /// The stream seed the sample was drawn from.
+    #[must_use]
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The nodes to probe: deduplicated, ascending. Estimation expects the
+    /// radius vector positionally aligned with this list.
+    #[must_use]
+    pub fn nodes(&self) -> &[NodeId] {
+        &self.nodes
+    }
+
+    /// Number of nodes the plan probes (the spent budget).
+    #[must_use]
+    pub fn probes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the sample covers its whole population — full node coverage
+    /// for node plans, every edge for the edge plan — in which case the
+    /// estimates degenerate to the exact measures with zero half-width.
+    #[must_use]
+    pub fn is_census(&self) -> bool {
+        match &self.design {
+            Design::Uniform { .. } | Design::Stratified { .. } => {
+                self.nodes.len() == self.population_nodes
+            }
+            Design::EdgeEndpoint { edges } => edges.len() == self.population_edges,
+        }
+    }
+
+    /// Radius of a probed node, by binary search over the ascending probe
+    /// list. Panics if `node` was not sampled — a design invariant, since
+    /// every design only references its own probe set.
+    fn radius_of(&self, radii: &[usize], node: u32) -> usize {
+        let slot = self
+            .nodes
+            .binary_search(&NodeId::new(node as usize))
+            .expect("sampled designs only reference probed nodes");
+        radii[slot]
+    }
+
+    /// Turns the probe results into estimates. `radii` must be positionally
+    /// aligned with [`SampleSet::nodes`] (as returned by the executor's
+    /// index-addressed batch path).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `radii.len() != self.nodes().len()` — the caller wired
+    /// the wrong result vector.
+    #[must_use]
+    pub fn estimate(&self, radii: &[usize]) -> SampledMeasureSet {
+        assert_eq!(
+            radii.len(),
+            self.nodes.len(),
+            "radius vector must align with the sampled node list"
+        );
+        let census = self.is_census();
+        let mut node_averaged = None;
+        let mut edge_averaged = None;
+        let mut edge_averaged_mean = None;
+        let mut quantiles = None;
+
+        match &self.design {
+            Design::Uniform { .. } => {
+                let n = self.population_nodes;
+                let k = radii.len();
+                node_averaged = Some(if census {
+                    // The exact integer path MeasureSet::compute uses —
+                    // bit-identical at any scale.
+                    let total: usize = radii.iter().sum();
+                    Estimate {
+                        value: if n == 0 { 0.0 } else { total as f64 / n as f64 },
+                        half_width_95: 0.0,
+                        sampled: k,
+                        population: n,
+                    }
+                } else {
+                    let summary = Summary::from_integers(radii);
+                    Estimate {
+                        value: summary.mean,
+                        half_width_95: fpc_half_width_95(&summary, n),
+                        sampled: k,
+                        population: n,
+                    }
+                });
+                quantiles = Some(QuantileSupport::Exact(RadiusCdf::from_radii(radii)));
+            }
+            Design::EdgeEndpoint { edges } => {
+                let m = self.population_edges;
+                let e = edges.len();
+                // Accumulate the per-edge statistics in edge-stream order —
+                // exactly the fold MeasureSet::compute runs, so a census
+                // reproduces it bit for bit.
+                let mut max_values = Vec::with_capacity(e);
+                let mut mean_values = Vec::with_capacity(e);
+                for &(u, v) in edges {
+                    let ru = self.radius_of(radii, u);
+                    let rv = self.radius_of(radii, v);
+                    max_values.push(ru.max(rv) as f64);
+                    mean_values.push((ru + rv) as f64 / 2.0);
+                }
+                let max_summary = Summary::from_values(&max_values);
+                let mean_summary = Summary::from_values(&mean_values);
+                edge_averaged = Some(Estimate {
+                    value: max_summary.mean,
+                    half_width_95: fpc_half_width_95(&max_summary, m),
+                    sampled: e,
+                    population: m,
+                });
+                edge_averaged_mean = Some(Estimate {
+                    value: mean_summary.mean,
+                    half_width_95: fpc_half_width_95(&mean_summary, m),
+                    sampled: e,
+                    population: m,
+                });
+            }
+            Design::Stratified { strata } => {
+                let n = self.population_nodes;
+                let k = radii.len();
+                if census {
+                    let total: usize = radii.iter().sum();
+                    node_averaged = Some(Estimate {
+                        value: if n == 0 { 0.0 } else { total as f64 / n as f64 },
+                        half_width_95: 0.0,
+                        sampled: k,
+                        population: n,
+                    });
+                    // Every weight is 1: the sampled ECDF *is* the exact one.
+                    quantiles = Some(QuantileSupport::Exact(RadiusCdf::from_radii(radii)));
+                } else {
+                    let stats: Vec<StratumStat> = strata
+                        .iter()
+                        .map(|s| {
+                            let values: Vec<f64> = s
+                                .members
+                                .iter()
+                                .map(|&v| self.radius_of(radii, v) as f64)
+                                .collect();
+                            StratumStat {
+                                population: s.population,
+                                summary: Summary::from_values(&values),
+                            }
+                        })
+                        .collect();
+                    let combined = stratified_mean_ci(&stats);
+                    node_averaged = Some(Estimate {
+                        value: combined.mean,
+                        half_width_95: combined.half_width_95,
+                        sampled: k,
+                        population: n,
+                    });
+                    // Weighted ECDF: each sampled node stands for
+                    // N_h / k_h population nodes of its stratum.
+                    let mut entries = Vec::with_capacity(k);
+                    for s in strata {
+                        if s.members.is_empty() {
+                            continue;
+                        }
+                        let weight = s.population as f64 / s.members.len() as f64;
+                        for &v in &s.members {
+                            entries.push((self.radius_of(radii, v), weight));
+                        }
+                    }
+                    entries.sort_by(|a, b| {
+                        a.0.cmp(&b.0).then(a.1.partial_cmp(&b.1).expect("finite weights").reverse())
+                    });
+                    let total_weight = entries.iter().map(|e| e.1).sum();
+                    quantiles = Some(QuantileSupport::Weighted { entries, total_weight });
+                }
+            }
+        }
+
+        SampledMeasureSet {
+            plan: self.plan,
+            seed: self.seed,
+            probes: self.nodes.len(),
+            census,
+            node_averaged,
+            edge_averaged,
+            edge_averaged_mean,
+            quantiles,
+        }
+    }
+
+    /// Estimation convenience for validation harnesses that already hold the
+    /// **full** population radius vector (indexed by node id): extracts the
+    /// probed slots and estimates from them, without re-running anything.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `population_radii` is shorter than the graph the sample
+    /// was drawn on.
+    #[must_use]
+    pub fn estimate_against(&self, population_radii: &[usize]) -> SampledMeasureSet {
+        let probed: Vec<usize> = self.nodes.iter().map(|v| population_radii[v.index()]).collect();
+        self.estimate(&probed)
+    }
+}
+
+/// One estimated scalar measure with its uncertainty.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Estimate {
+    /// The point estimate.
+    pub value: f64,
+    /// Half-width of the 95% confidence interval. `0.0` exactly for a
+    /// census; `f64::INFINITY` when the design left the variance
+    /// unestimable (gated, never silently zero).
+    pub half_width_95: f64,
+    /// Number of sampled units (nodes or edges) the estimate used.
+    pub sampled: usize,
+    /// Size of the population the units were drawn from.
+    pub population: usize,
+}
+
+impl Estimate {
+    /// Whether the 95% interval covers `exact`.
+    #[must_use]
+    pub fn covers(&self, exact: f64) -> bool {
+        (self.value - exact).abs() <= self.half_width_95
+    }
+
+    /// `|value − exact| / |exact|`; falls back to the absolute error when
+    /// `exact` is zero.
+    #[must_use]
+    pub fn relative_error(&self, exact: f64) -> f64 {
+        let abs = (self.value - exact).abs();
+        if exact == 0.0 {
+            abs
+        } else {
+            abs / exact.abs()
+        }
+    }
+
+    /// Combines per-trial estimates of the same measure into the estimate
+    /// of the *trial-averaged* measure: the mean of the values, with the
+    /// independent-trials half-width `√(Σ hwᵢ²) / T`. `None` for an empty
+    /// slice.
+    #[must_use]
+    pub fn mean_of(estimates: &[Estimate]) -> Option<Estimate> {
+        if estimates.is_empty() {
+            return None;
+        }
+        let t = estimates.len() as f64;
+        let value = estimates.iter().map(|e| e.value).sum::<f64>() / t;
+        let half_width_95 =
+            estimates.iter().map(|e| e.half_width_95 * e.half_width_95).sum::<f64>().sqrt() / t;
+        Some(Estimate {
+            value,
+            half_width_95,
+            sampled: estimates.iter().map(|e| e.sampled).sum(),
+            population: estimates[0].population,
+        })
+    }
+}
+
+/// Quantile bookkeeping of a sampled estimate.
+#[derive(Debug, Clone, PartialEq)]
+enum QuantileSupport {
+    /// Equal-weight sample: the sampled ECDF, sharing `RadiusCdf`'s exact
+    /// nearest-rank arithmetic (bit-identical to the full measure on a
+    /// census).
+    Exact(RadiusCdf),
+    /// Expansion-weighted sample values, ascending by radius.
+    Weighted {
+        /// `(radius, expansion weight)` pairs sorted by radius.
+        entries: Vec<(usize, f64)>,
+        /// Σ of the weights (≈ the population size).
+        total_weight: f64,
+    },
+}
+
+impl QuantileSupport {
+    fn quantile(&self, per_mille: u16) -> f64 {
+        match self {
+            QuantileSupport::Exact(cdf) => cdf.quantile(per_mille),
+            QuantileSupport::Weighted { entries, total_weight } => {
+                if entries.is_empty() {
+                    return 0.0;
+                }
+                let target = f64::from(per_mille.min(1000)) / 1000.0 * total_weight;
+                let mut cumulative = 0.0;
+                for &(radius, weight) in entries {
+                    cumulative += weight;
+                    if cumulative >= target {
+                        return radius as f64;
+                    }
+                }
+                entries[entries.len() - 1].0 as f64
+            }
+        }
+    }
+}
+
+/// The sampled counterpart of [`MeasureSet`](crate::measure::MeasureSet):
+/// every measure the plan can estimate, as an [`Estimate`] with its
+/// confidence half-width, plus sampled quantiles where the design supports
+/// them. Measures a plan cannot estimate unbiasedly are `None`, never a
+/// silently biased number — a uniform node sample says nothing about
+/// edge-averaged complexity and vice versa.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SampledMeasureSet {
+    /// The plan that produced the estimate.
+    pub plan: SamplePlan,
+    /// The stream seed the sample was drawn from.
+    pub seed: u64,
+    /// Number of nodes probed.
+    pub probes: usize,
+    /// Whether the sample covered the whole population (estimates are then
+    /// exact with zero half-width).
+    pub census: bool,
+    /// Estimated `Σ r(v) / n` (node plans).
+    pub node_averaged: Option<Estimate>,
+    /// Estimated `Σ_e max(r_u, r_v) / m` (edge-endpoint plan).
+    pub edge_averaged: Option<Estimate>,
+    /// Estimated `Σ_e (r_u + r_v)/2 / m` (edge-endpoint plan).
+    pub edge_averaged_mean: Option<Estimate>,
+    quantiles: Option<QuantileSupport>,
+}
+
+impl SampledMeasureSet {
+    /// The estimated radius quantile at `per_mille` (500 = median), when the
+    /// design supports quantiles (node plans). Equal-weight designs use the
+    /// exact nearest-rank rule of
+    /// [`RadiusCdf::quantile`](crate::cdf::RadiusCdf::quantile); stratified
+    /// non-census designs invert the expansion-weighted ECDF.
+    #[must_use]
+    pub fn quantile(&self, per_mille: u16) -> Option<f64> {
+        self.quantiles.as_ref().map(|q| q.quantile(per_mille))
+    }
+
+    /// The estimated median radius, when the design supports quantiles.
+    #[must_use]
+    pub fn median(&self) -> Option<f64> {
+        self.quantile(500)
+    }
+}
+
+/// A sampled estimate of a generation's measures, from one service call.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SampleReply {
+    /// Epoch of the generation the estimate describes — both the draw and
+    /// every probe came from this one pinned snapshot.
+    pub epoch: u64,
+    /// The estimated measures with their confidence half-widths.
+    pub measures: SampledMeasureSet,
+}
+
+/// Sampled estimation endpoint over a batch-capable
+/// [`RadiusQueryService`](avglocal_service::RadiusQueryService): draw the
+/// plan's sample from the pinned generation's snapshot, probe exactly that
+/// subset through the sharded batch path
+/// ([`query_batch_on`](avglocal_service::RadiusQueryService::query_batch_on)),
+/// and fold the radii into a [`SampledMeasureSet`] — one admission slot, one
+/// shared deadline budget, one epoch for both the draw and the probes.
+///
+/// Lives in this crate (not `avglocal-service`) for the same reason as
+/// [`AggregateQueries`](crate::aggregate::AggregateQueries): the estimator
+/// layer sits above the service layer in the dependency order.
+///
+/// # Examples
+///
+/// ```
+/// use std::sync::Arc;
+/// use avglocal::prelude::*;
+/// use avglocal::service::{QueryOptions, RadiusQueryService, ServiceConfig, TestClock};
+/// use avglocal::runtime::examples::NaiveLargestId;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut ring = generators::cycle(64)?;
+/// IdAssignment::Shuffled { seed: 7 }.apply(&mut ring)?;
+/// let service = RadiusQueryService::new(
+///     NaiveLargestId,
+///     Knowledge::none(),
+///     ring.freeze(),
+///     Arc::new(TestClock::new()),
+///     ServiceConfig::default(),
+/// );
+/// // A 25%-budget estimate of the node-averaged complexity, with a CI:
+/// let plan = SamplePlan::Uniform { budget: 16 };
+/// let reply = service.query_sample(plan, plan.seed_for(42, 0), QueryOptions::new())?;
+/// let estimate = reply.measures.node_averaged.unwrap();
+/// assert_eq!(estimate.sampled, 16);
+/// assert!(estimate.half_width_95.is_finite());
+/// # Ok(())
+/// # }
+/// ```
+pub trait SampleQueries {
+    /// Estimates the pinned generation's measures from the sample `plan`
+    /// draws at `seed` (see [`SamplePlan::seed_for`] for deriving seeds that
+    /// keep trials and plans on disjoint streams).
+    ///
+    /// # Errors
+    ///
+    /// Same as
+    /// [`query_batch_on`](avglocal_service::RadiusQueryService::query_batch_on),
+    /// plus the typed deadline/probe error of the first incomplete entry
+    /// when the shared budget expired mid-batch.
+    fn query_sample(
+        &self,
+        plan: SamplePlan,
+        seed: u64,
+        options: avglocal_service::QueryOptions,
+    ) -> avglocal_service::Result<SampleReply>;
+}
+
+impl<A> SampleQueries for avglocal_service::RadiusQueryService<A>
+where
+    A: avglocal_runtime::BallAlgorithm + Sync,
+    A::Output: Send,
+{
+    fn query_sample(
+        &self,
+        plan: SamplePlan,
+        seed: u64,
+        options: avglocal_service::QueryOptions,
+    ) -> avglocal_service::Result<SampleReply> {
+        let generation = self.pin();
+        let sample = plan.draw(generation.session().csr(), seed);
+        let request = avglocal_service::QueryRequest::nodes(sample.nodes().to_vec(), options);
+        let reply = self.query_batch_on(&generation, &request)?;
+        let radii = reply.radii()?;
+        Ok(SampleReply { epoch: reply.epoch(), measures: sample.estimate(&radii) })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use avglocal_graph::generators;
+
+    fn ring(n: usize) -> CsrGraph {
+        generators::cycle(n).unwrap().freeze()
+    }
+
+    #[test]
+    fn plan_seeds_separate_variants_trials_and_budgets() {
+        let plans = [
+            SamplePlan::Uniform { budget: 8 },
+            SamplePlan::EdgeEndpoint { budget: 8 },
+            SamplePlan::StratifiedByDegree { budget: 8 },
+            SamplePlan::Uniform { budget: 9 },
+        ];
+        let mut seeds = BTreeSet::new();
+        for plan in &plans {
+            for trial in 0..4 {
+                for base in [0u64, 1, 99] {
+                    seeds.insert(plan.seed_for(base, trial));
+                }
+            }
+        }
+        assert_eq!(seeds.len(), plans.len() * 4 * 3, "seed streams must not collide");
+    }
+
+    #[test]
+    fn uniform_draw_is_sorted_unique_and_seed_deterministic() {
+        let g = ring(64);
+        let plan = SamplePlan::Uniform { budget: 16 };
+        let a = plan.draw(&g, 7);
+        let b = plan.draw(&g, 7);
+        assert_eq!(a, b);
+        assert_eq!(a.probes(), 16);
+        assert!(!a.is_census());
+        let mut sorted = a.nodes().to_vec();
+        sorted.sort();
+        sorted.dedup();
+        assert_eq!(sorted, a.nodes());
+        assert_ne!(a.nodes(), plan.draw(&g, 8).nodes(), "different seeds, different draws");
+    }
+
+    #[test]
+    fn full_budget_is_a_census_of_every_node() {
+        let g = ring(12);
+        for plan in [
+            SamplePlan::Uniform { budget: 12 },
+            SamplePlan::StratifiedByDegree { budget: 200 },
+            SamplePlan::EdgeEndpoint { budget: 24 },
+        ] {
+            let s = plan.draw(&g, 3);
+            assert!(s.is_census(), "{plan:?}");
+            assert_eq!(s.probes(), 12, "{plan:?}");
+        }
+    }
+
+    #[test]
+    fn census_estimates_are_exact_with_zero_half_width() {
+        let g = ring(10);
+        let radii: Vec<usize> = (0..10).collect(); // arbitrary but fixed
+        let exact = crate::measure::MeasureSet::compute(
+            &radii,
+            g.edges().map(|(u, v)| (u as usize, v as usize)),
+        );
+
+        let uniform = SamplePlan::Uniform { budget: 10 }.draw(&g, 1).estimate_against(&radii);
+        assert!(uniform.census);
+        let node = uniform.node_averaged.unwrap();
+        assert_eq!(node.value, exact.node_averaged);
+        assert_eq!(node.half_width_95, 0.0);
+        assert_eq!(uniform.median().unwrap(), exact.median);
+
+        let strat =
+            SamplePlan::StratifiedByDegree { budget: 10 }.draw(&g, 1).estimate_against(&radii);
+        assert!(strat.census);
+        assert_eq!(strat.node_averaged.unwrap().value, exact.node_averaged);
+        assert_eq!(strat.quantile(900).unwrap(), exact.cdf.quantile(900));
+
+        let edge = SamplePlan::EdgeEndpoint { budget: 20 }.draw(&g, 1).estimate_against(&radii);
+        assert!(edge.census);
+        let e_max = edge.edge_averaged.unwrap();
+        let e_mean = edge.edge_averaged_mean.unwrap();
+        assert_eq!(e_max.value, exact.edge_averaged);
+        assert_eq!(e_mean.value, exact.edge_averaged_mean);
+        assert_eq!(e_max.half_width_95, 0.0);
+        assert!(edge.node_averaged.is_none(), "edge plans do not estimate node measures");
+    }
+
+    #[test]
+    fn partial_estimates_have_finite_positive_half_widths() {
+        let g = ring(128);
+        let radii: Vec<usize> = (0..128).map(|v| (v * 7) % 13).collect();
+        let est = SamplePlan::Uniform { budget: 24 }.draw(&g, 5).estimate_against(&radii);
+        assert!(!est.census);
+        let node = est.node_averaged.unwrap();
+        assert!(node.half_width_95.is_finite() && node.half_width_95 > 0.0);
+        assert_eq!(node.sampled, 24);
+        assert_eq!(node.population, 128);
+
+        let edge = SamplePlan::EdgeEndpoint { budget: 24 }.draw(&g, 5).estimate_against(&radii);
+        assert!(!edge.census);
+        assert!(edge.edge_averaged.unwrap().half_width_95.is_finite());
+        assert_eq!(edge.edge_averaged.unwrap().population, 128); // ring: m = n
+    }
+
+    #[test]
+    fn stratified_draw_covers_every_degree_class() {
+        // A star: one hub of degree n-1, leaves of degree 1 — two classes.
+        let mut g = avglocal_graph::Graph::new();
+        let ids = g.add_nodes_with_default_ids(64);
+        let hub = ids[0];
+        for &leaf in &ids[1..] {
+            g.add_edge(hub, leaf).unwrap();
+        }
+        let csr = g.freeze();
+        let s = SamplePlan::StratifiedByDegree { budget: 8 }.draw(&csr, 2);
+        assert!(
+            s.nodes().contains(&hub),
+            "the hub is its own degree class and must always be sampled"
+        );
+        assert_eq!(s.probes(), 8);
+    }
+
+    #[test]
+    fn estimate_mean_of_combines_trials() {
+        let a = Estimate { value: 2.0, half_width_95: 0.6, sampled: 10, population: 100 };
+        let b = Estimate { value: 4.0, half_width_95: 0.8, sampled: 10, population: 100 };
+        let c = Estimate::mean_of(&[a, b]).unwrap();
+        assert_eq!(c.value, 3.0);
+        assert!((c.half_width_95 - 0.5).abs() < 1e-12);
+        assert_eq!(c.sampled, 20);
+        assert!(Estimate::mean_of(&[]).is_none());
+    }
+
+    #[test]
+    fn weighted_quantiles_reduce_sensibly() {
+        let q = QuantileSupport::Weighted {
+            entries: vec![(1, 1.0), (2, 1.0), (3, 1.0), (4, 1.0)],
+            total_weight: 4.0,
+        };
+        assert_eq!(q.quantile(0), 1.0);
+        assert_eq!(q.quantile(500), 2.0);
+        assert_eq!(q.quantile(1000), 4.0);
+        // A heavy tail weight pulls the upper quantiles up.
+        let heavy =
+            QuantileSupport::Weighted { entries: vec![(1, 1.0), (9, 3.0)], total_weight: 4.0 };
+        assert_eq!(heavy.quantile(500), 9.0);
+    }
+}

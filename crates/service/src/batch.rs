@@ -276,6 +276,38 @@ where
         })
     }
 
+    /// Runs a batched query on a generation the **caller** already pinned,
+    /// instead of the currently published one.
+    ///
+    /// This is the seam for two-phase protocols that must read a
+    /// generation's graph before deciding what to probe — e.g. a sampling
+    /// estimator that draws its node subset from the pinned snapshot's
+    /// degree sequence and then probes exactly that subset. Routing both
+    /// phases through one pinned `Arc<Generation>` closes the race where a
+    /// publish lands between the draw and the probe: with plain
+    /// [`RadiusQueryService::query_batch`] the probe would silently run
+    /// against a different epoch than the one the sample was drawn from.
+    ///
+    /// Costs one admission slot and one shared deadline budget, exactly like
+    /// `query_batch`; the `options.consistency` field is ignored because the
+    /// caller's pin *is* the consistency decision.
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::Overloaded`] when shed at admission. Per-node
+    /// failures are reported in the reply, not here.
+    pub fn query_batch_on(
+        &self,
+        generation: &Arc<Generation>,
+        request: &QueryRequest,
+    ) -> Result<BatchReply<A::Output>> {
+        let _slot = self.admit()?;
+        // ordering: monotone statistics counter; no ordering dependency.
+        self.counters().batches.fetch_add(1, Ordering::Relaxed);
+        let budget = self.budget_of(&request.options);
+        Ok(self.probe_batch(generation, &request.nodes, budget))
+    }
+
     /// One batch attempt on a pinned generation, under a shared budget.
     fn probe_batch(
         &self,
